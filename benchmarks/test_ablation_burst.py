@@ -1,0 +1,86 @@
+"""Ablation: instantaneous vs windowed sojourn marking under incast.
+
+DESIGN.md calls out the core design choice TCN makes relative to CoDel:
+mark on the *instantaneous* sojourn of each departing packet instead of
+the windowed minimum.  This bench isolates that choice with a synchronized
+incast microburst (the §4.3 / §6.1 'faster reaction to bursty traffic'
+claim): TCN delivers congestion notification within the first RTT; CoDel
+stays silent for a full interval and lets the buffer absorb (or drop) the
+burst.
+"""
+
+from repro.aqm.codel import CoDel
+from repro.core.tcn import Tcn
+from repro.sched.fifo import FifoScheduler
+from repro.sim.engine import Simulator
+from repro.topo.star import StarTopology
+from repro.transport.dctcp import DctcpSender
+from repro.transport.flow import Flow
+from repro.transport.receiver import Receiver
+from repro.units import GBPS, KB, MSEC, SEC, USEC
+
+from benchmarks.benchlib import save_results
+from repro.harness.report import format_table
+
+
+def _incast(aqm_factory, n_senders=24, flow_kb=256, buffer_kb=150):
+    sim = Simulator()
+    topo = StarTopology(
+        sim, n_senders + 1, 10 * GBPS,
+        sched_factory=FifoScheduler,
+        aqm_factory=aqm_factory,
+        buffer_bytes=buffer_kb * KB,
+        link_delay_ns=25_000,
+    )
+    flows = []
+    for i in range(n_senders):
+        f = Flow(i + 1, i + 1, 0, flow_kb * KB)
+        flows.append(f)
+        Receiver(sim, topo.hosts[0], f)
+        s = DctcpSender(sim, topo.hosts[i + 1], f, init_cwnd=16,
+                        min_rto_ns=10 * MSEC)
+        sim.schedule(0, s.start)
+    port = topo.port_to(0)
+    sim.run(until=1 * MSEC)
+    marks_1ms = port.stats.marked_pkts
+    sim.run(until=5 * SEC)
+    fcts = sorted(f.fct_ns for f in flows if f.completed)
+    return {
+        "marks_first_ms": marks_1ms,
+        "drops": port.stats.dropped_pkts,
+        "completed": len(fcts),
+        "p99_fct_us": fcts[-1] / 1000 if fcts else None,
+    }
+
+
+def test_ablation_burst(benchmark):
+    out = {}
+
+    def workload():
+        out["tcn"] = _incast(lambda: Tcn(100 * USEC))
+        out["codel"] = _incast(
+            lambda: CoDel(target_ns=20 * USEC, interval_ns=1 * MSEC)
+        )
+
+    benchmark.pedantic(workload, rounds=1, iterations=1)
+
+    rows = [
+        [name,
+         str(r["marks_first_ms"]),
+         str(r["drops"]),
+         str(r["completed"]),
+         f"{r['p99_fct_us']:.0f}" if r["p99_fct_us"] else "-"]
+        for name, r in out.items()
+    ]
+    table = format_table(
+        ["scheme", "marks in first 1ms", "drops", "flows done", "worst FCT (us)"],
+        rows,
+    )
+    save_results(
+        "ablation_burst",
+        "Ablation: burst reaction (24-flow incast, 10G, 150 KB buffer)\n" + table,
+    )
+
+    assert out["tcn"]["marks_first_ms"] > 3 * max(1, out["codel"]["marks_first_ms"])
+    assert out["codel"]["drops"] >= out["tcn"]["drops"]
+    assert out["tcn"]["completed"] == 24

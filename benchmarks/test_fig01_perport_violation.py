@@ -1,0 +1,89 @@
+"""Figure 1: per-port ECN/RED violates DWRR scheduling policy.
+
+Paper setup: 3 servers on a Pica8 GbE switch, DWRR with 2 equal-quantum
+queues, per-port threshold 30 KB, DCTCP.  Service 1 has one long flow,
+service 2 has 2..16; under per-port ECN/RED service 2's goodput grows with
+its flow count (670 Mbps at 8 flows, 782 Mbps at 16), though DWRR says the
+split must stay 50/50.  We also run TCN as the control: perfectly fair.
+"""
+
+from repro.aqm.perport import PerPortRed
+from repro.core.tcn import Tcn
+from repro.metrics.timeseries import GoodputTracker
+from repro.sched.base import make_queues
+from repro.sched.dwrr import DwrrScheduler
+from repro.sim.engine import Simulator
+from repro.topo.star import StarTopology
+from repro.transport.dctcp import DctcpSender
+from repro.transport.flow import Flow
+from repro.transport.receiver import Receiver
+from repro.units import GBPS, KB, MB, SEC, USEC
+
+from benchmarks.benchlib import save_results
+from repro.harness.report import format_table
+
+PAPER = {2: 520, 4: 600, 8: 670, 16: 782}  # svc-2 goodput (Mbps), Fig. 1
+
+
+def _run(n_flows_svc2: int, scheme: str):
+    sim = Simulator()
+    aqm = {
+        "perport": lambda: PerPortRed(30 * KB),
+        "tcn": lambda: Tcn(250 * USEC),
+    }[scheme]
+    topo = StarTopology(
+        sim, 3, GBPS,
+        sched_factory=lambda: DwrrScheduler(make_queues(2, quanta=[1500, 1500])),
+        aqm_factory=aqm,
+        buffer_bytes=192 * KB,
+        link_delay_ns=62_500,
+    )
+    tracker = GoodputTracker()
+    on_bytes = lambda f, b, t: tracker.record(f.service, b, t)  # noqa: E731
+    flows = [Flow(1, 0, 2, 500 * MB, service=0)]
+    flows += [Flow(2 + i, 1, 2, 500 * MB, service=1) for i in range(n_flows_svc2)]
+    for f in flows:
+        Receiver(sim, topo.hosts[2], f, on_bytes=on_bytes)
+        s = DctcpSender(sim, topo.hosts[f.src], f, init_cwnd=10)
+        sim.schedule(0, s.start)
+    sim.run(until=2 * SEC)
+    return (
+        tracker.goodput_bps(0, 1 * SEC, 2 * SEC) / 1e6,
+        tracker.goodput_bps(1, 1 * SEC, 2 * SEC) / 1e6,
+    )
+
+
+def test_fig01(benchmark):
+    measured = {}
+
+    def workload():
+        for n2 in (2, 8, 16):
+            measured[n2] = {
+                "perport": _run(n2, "perport"),
+                "tcn": _run(n2, "tcn"),
+            }
+
+    benchmark.pedantic(workload, rounds=1, iterations=1)
+
+    rows = []
+    for n2, res in measured.items():
+        p1, p2 = res["perport"]
+        t1, t2 = res["tcn"]
+        rows.append([
+            str(n2), f"{PAPER[n2]}", f"{p2:.0f}", f"{p1:.0f}",
+            f"{t2:.0f}", f"{t1:.0f}",
+        ])
+    table = format_table(
+        ["svc2 flows", "paper svc2 (perport)", "meas svc2 (perport)",
+         "meas svc1 (perport)", "meas svc2 (tcn)", "meas svc1 (tcn)"],
+        rows,
+    )
+    save_results("fig01_perport_violation", "Figure 1 (goodput, Mbps)\n" + table)
+
+    # qualitative claims
+    g2 = {n2: measured[n2]["perport"][1] for n2 in measured}
+    assert g2[16] > g2[8] > g2[2], "violation must grow with flow count"
+    assert g2[8] > 600, "service 2 must exceed 60% of the link at 8 flows"
+    for n2 in measured:
+        t1, t2 = measured[n2]["tcn"]
+        assert abs(t1 - t2) < 0.07 * 973, "TCN must keep the 50/50 split"

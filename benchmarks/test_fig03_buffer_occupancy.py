@@ -1,0 +1,84 @@
+"""Figure 3: buffer occupancy under enqueue RED, dequeue RED, and TCN.
+
+Paper setup: 9 servers at 10 Gbps, 8 synchronized ECN* long flows into one
+queue; K = 125 KB for the RED schemes, T = 100 us for TCN.  Findings: the
+slow-start peak is ~375 KB (3x BDP) for enqueue RED and TCN but ~250 KB
+(2x BDP) for dequeue RED (it reacts to *future* congestion earlier); after
+slow start all three oscillate in the 0..125 KB band.
+"""
+
+from repro.aqm.dequeue_red import DequeueRed
+from repro.aqm.perqueue import PerQueueRed
+from repro.core.tcn import Tcn
+from repro.metrics.timeseries import OccupancySampler
+from repro.sched.fifo import FifoScheduler
+from repro.sim.engine import Simulator
+from repro.topo.star import StarTopology
+from repro.transport.flow import Flow
+from repro.transport.receiver import Receiver
+from repro.transport.tcp import EcnStarSender
+from repro.units import GBPS, KB, MB, MSEC, USEC
+
+from benchmarks.benchlib import save_results
+from repro.harness.report import format_table
+
+BDP = 125 * KB
+PAPER_PEAK_KB = {"enqueue_red": 375, "dequeue_red": 250, "tcn": 375}
+
+
+def _run(scheme: str):
+    sim = Simulator()
+    aqm = {
+        "enqueue_red": lambda: PerQueueRed(125 * KB),
+        "dequeue_red": lambda: DequeueRed(125 * KB),
+        "tcn": lambda: Tcn(100 * USEC),
+    }[scheme]
+    topo = StarTopology(
+        sim, 9, 10 * GBPS,
+        sched_factory=FifoScheduler,
+        aqm_factory=aqm,
+        buffer_bytes=4 * MB,
+        link_delay_ns=25_000,
+    )
+    sampler = OccupancySampler(topo.port_to(0))
+    for i in range(8):
+        f = Flow(i + 1, i + 1, 0, 500 * MB)
+        Receiver(sim, topo.hosts[0], f)
+        s = EcnStarSender(sim, topo.hosts[i + 1], f, init_cwnd=10)
+        sim.schedule(0, s.start)
+    sim.run(until=20 * MSEC)
+    return sampler
+
+
+def test_fig03(benchmark):
+    samplers = {}
+
+    def workload():
+        for scheme in ("enqueue_red", "dequeue_red", "tcn"):
+            samplers[scheme] = _run(scheme)
+
+    benchmark.pedantic(workload, rounds=1, iterations=1)
+
+    rows = []
+    for scheme, sampler in samplers.items():
+        steady = sampler.max_in_window(10 * MSEC, 20 * MSEC)
+        rows.append([
+            scheme,
+            str(PAPER_PEAK_KB[scheme]),
+            f"{sampler.peak_bytes / 1000:.0f}",
+            f"{steady / 1000:.0f}",
+        ])
+    table = format_table(
+        ["scheme", "paper peak (KB)", "measured peak (KB)",
+         "steady max 10-20ms (KB)"],
+        rows,
+    )
+    save_results("fig03_buffer_occupancy", "Figure 3 (switch buffer occupancy)\n" + table)
+
+    peaks = {s: sp.peak_bytes for s, sp in samplers.items()}
+    assert 2.5 * BDP <= peaks["enqueue_red"] <= 3.5 * BDP
+    assert 2.5 * BDP <= peaks["tcn"] <= 3.5 * BDP
+    assert 1.6 * BDP <= peaks["dequeue_red"] <= 2.4 * BDP
+    assert peaks["dequeue_red"] < peaks["tcn"]
+    for sampler in samplers.values():
+        assert sampler.max_in_window(10 * MSEC, 20 * MSEC) <= 1.3 * BDP

@@ -1,0 +1,49 @@
+#!/usr/bin/env python3
+"""Inter-service traffic isolation (§6.1.2 / Figures 6-7).
+
+Four services share a 1 GbE switch port under DWRR or WFQ; flows follow the
+web search workload.  Compares TCN, CoDel, MQ-ECN (DWRR only — it cannot
+run on WFQ) and per-queue ECN/RED with the standard threshold, across
+loads, printing one FCT table per (scheduler, load) point.
+
+Usage:
+    python examples/service_isolation.py [--sched dwrr|wfq] [--flows N]
+"""
+
+import argparse
+
+from repro import ExperimentConfig, format_fct_rows, run_experiment
+
+
+def main() -> None:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--sched", choices=("dwrr", "wfq"), default="dwrr")
+    ap.add_argument("--flows", type=int, default=120)
+    ap.add_argument("--loads", type=float, nargs="+", default=[0.5, 0.8])
+    args = ap.parse_args()
+
+    schemes = ["tcn", "codel", "red_std"]
+    if args.sched == "dwrr":
+        schemes.insert(2, "mqecn")  # round-robin only
+
+    for load in args.loads:
+        results = {}
+        for scheme in schemes:
+            cfg = ExperimentConfig(
+                scheme=scheme,
+                scheduler=args.sched,
+                workload="websearch",
+                load=load,
+                n_flows=args.flows,
+                n_queues=4,
+                seed=7,
+                init_cwnd=10,
+            )
+            results[scheme] = run_experiment(cfg)
+        print(f"\n=== {args.sched.upper()}, load {load:.0%}, "
+              f"{args.flows} web-search flows ===")
+        print(format_fct_rows(results))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,50 @@
+#!/usr/bin/env python3
+"""Traffic prioritization with PIAS flow scheduling (§6.1.3 / Figures 8-9).
+
+Adds a strict higher-priority queue above the DWRR/WFQ service queues and
+tags the first 100 KB of every flow into it (two-priority PIAS).  Small
+flows finish entirely in the high-priority queue, so their tail FCT is
+governed by how well each AQM protects the shared buffer — the experiment
+where TCN's advantage over per-queue ECN/RED peaks (-82.8% average,
+-95.3% 99th percentile in the paper's testbed).
+
+Usage:
+    python examples/traffic_prioritization.py [--sched sp_dwrr|sp_wfq]
+"""
+
+import argparse
+
+from repro import ExperimentConfig, format_fct_rows, run_experiment
+
+
+def main() -> None:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--sched", choices=("sp_dwrr", "sp_wfq"), default="sp_dwrr")
+    ap.add_argument("--flows", type=int, default=150)
+    ap.add_argument("--load", type=float, default=0.8)
+    args = ap.parse_args()
+
+    results = {}
+    for scheme in ("tcn", "codel", "red_std"):
+        cfg = ExperimentConfig(
+            scheme=scheme,
+            scheduler=args.sched,
+            n_queues=5,      # 1 strict-priority + 4 service queues
+            n_high=1,
+            pias=True,       # first 100 KB -> high-priority queue
+            workload="websearch",
+            load=args.load,
+            n_flows=args.flows,
+            seed=7,
+            init_cwnd=10,
+        )
+        results[scheme] = run_experiment(cfg)
+
+    print(f"=== {args.sched.upper()} + PIAS, load {args.load:.0%} ===")
+    print(format_fct_rows(results))
+    print("\nsmall-flow timeouts per scheme:",
+          {k: r.timeouts_small for k, r in results.items()})
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,8 @@
+"""Setup shim: this offline environment lacks the `wheel` package, so
+`pip install -e .` (PEP 517 editable) cannot build a wheel.  `python
+setup.py develop` installs the same editable egg-link without wheel.
+All real metadata lives in pyproject.toml."""
+
+from setuptools import setup
+
+setup()

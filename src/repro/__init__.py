@@ -1,0 +1,189 @@
+"""repro — a full reproduction of *Enabling ECN over Generic Packet
+Scheduling* (TCN, CoNEXT 2016) on a pure-Python packet-level datacenter
+network simulator.
+
+Quick start::
+
+    from repro import ExperimentConfig, run_experiment
+
+    cfg = ExperimentConfig(scheme="tcn", scheduler="dwrr",
+                           workload="websearch", load=0.6, n_flows=200)
+    result = run_experiment(cfg)
+    print(result.summary)
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+paper-vs-measured record of every figure.
+"""
+
+from repro.core.tcn import Tcn, ProbabilisticTcn
+from repro.core.thresholds import (
+    standard_red_threshold_bytes,
+    standard_tcn_threshold_ns,
+    ideal_red_threshold_bytes,
+)
+from repro.aqm import (
+    Aqm,
+    NoopAqm,
+    CoDel,
+    MqEcn,
+    Pie,
+    PerQueueRed,
+    PerPortRed,
+    PerPoolRed,
+    BufferPool,
+    DequeueRed,
+    IdealRed,
+    RateMeter,
+    RedMarker,
+)
+from repro.sched import (
+    Scheduler,
+    FifoScheduler,
+    StrictPriorityScheduler,
+    WrrScheduler,
+    DwrrScheduler,
+    WfqScheduler,
+    SpDwrrScheduler,
+    SpWfqScheduler,
+    PifoScheduler,
+)
+from repro.sched.base import make_queues
+from repro.sim import Simulator, RngFactory
+from repro.net import (
+    Packet,
+    PacketKind,
+    PacketQueue,
+    Link,
+    EgressPort,
+    Switch,
+    Host,
+    DscpClassifier,
+    make_nic,
+)
+from repro.transport import (
+    Flow,
+    SenderBase,
+    DctcpSender,
+    DcqcnSender,
+    EcnStarSender,
+    RenoSender,
+    Receiver,
+)
+from repro.workloads import (
+    EmpiricalCdf,
+    WEB_SEARCH,
+    DATA_MINING,
+    HADOOP,
+    CACHE,
+    ALL_WORKLOADS,
+    workload_by_name,
+    FlowGenerator,
+)
+from repro.pias import PiasTagger
+from repro.apps import Pinger, IncastApp, IncastQuery
+from repro.topo import StarTopology, LeafSpineTopology
+from repro.metrics import (
+    FctCollector,
+    FctSummary,
+    percentile,
+    GoodputTracker,
+    OccupancySampler,
+)
+from repro.harness import (
+    ExperimentConfig,
+    ExperimentResult,
+    run_experiment,
+    SCHEMES,
+    SCHEDULERS,
+    TRANSPORTS,
+    format_table,
+    format_fct_rows,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    # core
+    "Tcn",
+    "ProbabilisticTcn",
+    "standard_red_threshold_bytes",
+    "standard_tcn_threshold_ns",
+    "ideal_red_threshold_bytes",
+    # aqm
+    "Aqm",
+    "NoopAqm",
+    "CoDel",
+    "MqEcn",
+    "Pie",
+    "PerQueueRed",
+    "PerPortRed",
+    "PerPoolRed",
+    "BufferPool",
+    "DequeueRed",
+    "IdealRed",
+    "RateMeter",
+    "RedMarker",
+    # schedulers
+    "Scheduler",
+    "FifoScheduler",
+    "StrictPriorityScheduler",
+    "WrrScheduler",
+    "DwrrScheduler",
+    "WfqScheduler",
+    "SpDwrrScheduler",
+    "SpWfqScheduler",
+    "PifoScheduler",
+    "make_queues",
+    # sim + net
+    "Simulator",
+    "RngFactory",
+    "Packet",
+    "PacketKind",
+    "PacketQueue",
+    "Link",
+    "EgressPort",
+    "Switch",
+    "Host",
+    "DscpClassifier",
+    "make_nic",
+    # transport
+    "Flow",
+    "SenderBase",
+    "DctcpSender",
+    "DcqcnSender",
+    "EcnStarSender",
+    "RenoSender",
+    "Receiver",
+    # workloads
+    "EmpiricalCdf",
+    "WEB_SEARCH",
+    "DATA_MINING",
+    "HADOOP",
+    "CACHE",
+    "ALL_WORKLOADS",
+    "workload_by_name",
+    "FlowGenerator",
+    # apps / pias
+    "PiasTagger",
+    "Pinger",
+    "IncastApp",
+    "IncastQuery",
+    # topologies
+    "StarTopology",
+    "LeafSpineTopology",
+    # metrics
+    "FctCollector",
+    "FctSummary",
+    "percentile",
+    "GoodputTracker",
+    "OccupancySampler",
+    # harness
+    "ExperimentConfig",
+    "ExperimentResult",
+    "run_experiment",
+    "SCHEMES",
+    "SCHEDULERS",
+    "TRANSPORTS",
+    "format_table",
+    "format_fct_rows",
+]

@@ -1,0 +1,77 @@
+"""Command-line entry point: run one experiment and print its FCT table.
+
+Examples::
+
+    python -m repro --scheme tcn --scheduler dwrr --load 0.7 --flows 200
+    python -m repro --scheme red_std --scheduler sp_wfq --pias --queues 5
+    python -m repro --topology leafspine --workload mixed --transport ecnstar
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.harness.config import ExperimentConfig
+from repro.harness.report import format_fct_rows
+from repro.harness.runner import run_experiment
+from repro.harness.schemes import SCHEDULERS, SCHEMES, TRANSPORTS
+from repro.units import KB
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Run a TCN-reproduction experiment.",
+    )
+    parser.add_argument("--scheme", default="tcn", choices=sorted(SCHEMES))
+    parser.add_argument(
+        "--scheduler", default="dwrr", choices=sorted(SCHEDULERS)
+    )
+    parser.add_argument(
+        "--transport", default="dctcp", choices=sorted(TRANSPORTS)
+    )
+    parser.add_argument(
+        "--topology", default="star", choices=("star", "leafspine")
+    )
+    parser.add_argument("--workload", default="websearch")
+    parser.add_argument("--load", type=float, default=0.7)
+    parser.add_argument("--flows", type=int, default=200)
+    parser.add_argument("--queues", type=int, default=4)
+    parser.add_argument("--pias", action="store_true")
+    parser.add_argument("--seed", type=int, default=1)
+    parser.add_argument(
+        "--buffer-kb", type=int, default=96, help="per-port buffer (KB)"
+    )
+    return parser
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    cfg = ExperimentConfig(
+        scheme=args.scheme,
+        scheduler=args.scheduler,
+        transport=args.transport,
+        topology=args.topology,
+        workload=args.workload,
+        load=args.load,
+        n_flows=args.flows,
+        n_queues=args.queues,
+        pias=args.pias,
+        seed=args.seed,
+        buffer_bytes=args.buffer_kb * KB,
+    )
+    result = run_experiment(cfg)
+    print(format_fct_rows({args.scheme: result}))
+    print(
+        f"\ncompleted {result.completed}/{result.total} flows in "
+        f"{result.sim_ns / 1e9:.2f} simulated seconds "
+        f"({result.wall_s:.1f}s wall); "
+        f"{result.timeouts} timeouts, {result.drops} drops, "
+        f"{result.marks} ECN marks"
+    )
+    return 0 if result.all_completed else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

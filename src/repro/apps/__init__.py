@@ -1,0 +1,6 @@
+"""Measurement and traffic applications that run on hosts."""
+
+from repro.apps.pinger import Pinger
+from repro.apps.incast import IncastApp, IncastQuery
+
+__all__ = ["Pinger", "IncastApp", "IncastQuery"]

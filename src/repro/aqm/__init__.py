@@ -1,0 +1,41 @@
+"""Active queue management / ECN marking schemes.
+
+Everything the paper evaluates lives here, plus the PIE extension:
+
+* :class:`~repro.aqm.perqueue.PerQueueRed` — current practice (§3.2.1).
+* :class:`~repro.aqm.perport.PerPortRed` / ``PerPoolRed`` — §3.2.2.
+* :class:`~repro.aqm.dequeue_red.DequeueRed` — Wu et al.'s dequeue marking.
+* :class:`~repro.aqm.mqecn.MqEcn` — round-robin-only dynamic thresholds.
+* :class:`~repro.aqm.ideal.IdealRed` — Equation 2 driven by the Algorithm 1
+  departure-rate meter (:class:`~repro.aqm.ratemeter.RateMeter`).
+* :class:`~repro.aqm.codel.CoDel` — sojourn-time AQM, marking mode.
+* :class:`~repro.aqm.pie.Pie` — PIE in marking mode (extension).
+* :class:`repro.core.tcn.Tcn` — the paper's contribution (in ``repro.core``).
+"""
+
+from repro.aqm.base import Aqm, NoopAqm
+from repro.aqm.red import RedMarker
+from repro.aqm.perqueue import PerQueueRed
+from repro.aqm.perport import PerPortRed, PerPoolRed, BufferPool
+from repro.aqm.dequeue_red import DequeueRed
+from repro.aqm.mqecn import MqEcn
+from repro.aqm.ratemeter import RateMeter
+from repro.aqm.ideal import IdealRed
+from repro.aqm.codel import CoDel
+from repro.aqm.pie import Pie
+
+__all__ = [
+    "Aqm",
+    "NoopAqm",
+    "RedMarker",
+    "PerQueueRed",
+    "PerPortRed",
+    "PerPoolRed",
+    "BufferPool",
+    "DequeueRed",
+    "MqEcn",
+    "RateMeter",
+    "IdealRed",
+    "CoDel",
+    "Pie",
+]

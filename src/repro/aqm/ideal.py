@@ -1,0 +1,85 @@
+"""The "ideal" dynamic ECN/RED (Equation 2) driven by Algorithm 1.
+
+Each queue runs a :class:`~repro.aqm.ratemeter.RateMeter`; the marking
+threshold is recomputed per packet as ``K_i = avg_rate_i x RTT x lambda``
+(capped at the standard threshold, since a queue can never drain faster
+than the link).  Before the first sample the queue is assumed to own the
+whole link.
+
+This is the scheme §3.3 shows to be *fundamentally* hard to tune: the bench
+for Fig. 2 sweeps ``dq_thresh`` and reproduces both failure modes.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict
+
+from repro.aqm.base import Aqm
+from repro.aqm.ratemeter import RateMeter
+from repro.net.packet import Packet
+from repro.net.queue import PacketQueue
+from repro.units import SEC
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.net.port import EgressPort
+
+
+class IdealRed(Aqm):
+    """Equation 2 marking with measured per-queue capacities.
+
+    Parameters
+    ----------
+    rtt_ns, lam:
+        The Equation 2 constants.
+    dq_thresh_bytes:
+        Algorithm 1 measurement threshold (PIE recommends 10 KB; the paper
+        shows why no value works for every scheduler).
+    avg_weight:
+        EWMA weight of the old average (0.875 in the paper's Fig. 2).
+    """
+
+    def __init__(
+        self,
+        rtt_ns: int,
+        lam: float = 1.0,
+        dq_thresh_bytes: int = 10_000,
+        avg_weight: float = 0.875,
+        record_samples: bool = False,
+    ) -> None:
+        self.rtt_ns = rtt_ns
+        self.lam = lam
+        self.dq_thresh_bytes = dq_thresh_bytes
+        self.avg_weight = avg_weight
+        self.record_samples = record_samples
+        self._meters: Dict[int, RateMeter] = {}
+        self._line_rate_bps = 0.0
+
+    def setup(self, port: "EgressPort") -> None:
+        self._line_rate_bps = float(port.rate_bps)
+        for queue in port.scheduler.queues:
+            self._meters[id(queue)] = RateMeter(
+                self.dq_thresh_bytes,
+                avg_weight=self.avg_weight,
+                record_samples=self.record_samples,
+            )
+
+    def meter_for(self, queue: PacketQueue) -> RateMeter:
+        """Expose a queue's meter (benchmarks sample the estimates)."""
+        return self._meters[id(queue)]
+
+    def threshold_bytes(self, queue: PacketQueue) -> float:
+        """Current ``K_i = min(C, avg_rate_i) x RTT x lambda``."""
+        rate = self._meters[id(queue)].rate_or(self._line_rate_bps)
+        rate = min(rate, self._line_rate_bps)
+        return rate * self.rtt_ns * self.lam / (8 * SEC)
+
+    def on_enqueue(
+        self, port: "EgressPort", queue: PacketQueue, pkt: Packet, now: int
+    ) -> bool:
+        return queue.bytes > self.threshold_bytes(queue)
+
+    def on_dequeue(
+        self, port: "EgressPort", queue: PacketQueue, pkt: Packet, now: int
+    ) -> bool:
+        self._meters[id(queue)].on_departure(queue.bytes, pkt.wire_size, now)
+        return False

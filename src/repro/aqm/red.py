@@ -1,0 +1,87 @@
+"""RED marking math, reusable by the queue-length AQMs.
+
+:class:`RedMarker` implements the full Floyd/Jacobson gateway — EWMA-averaged
+occupancy, ``(K_min, K_max, P_max)``, and the inter-mark count correction —
+plus the *simplified* configuration production datacenters actually run
+(§2.1): instantaneous occupancy with ``K_min = K_max = K``, which collapses
+the whole thing to one comparison.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional
+
+
+class RedMarker:
+    """One RED instance (one queue's, or one port's, marking state).
+
+    Parameters
+    ----------
+    kmin_bytes, kmax_bytes:
+        Low/high occupancy thresholds.  Equal values select the simplified
+        datacenter configuration: mark iff occupancy > K.
+    pmax:
+        Maximum marking probability at ``kmax``.
+    ewma_weight:
+        Weight of the *new* sample in the average-queue estimate; 1.0 (the
+        default) selects instantaneous occupancy, as datacenter operators
+        configure.
+    rng:
+        Randomness source for probabilistic marking (seeded for
+        reproducibility).
+    """
+
+    __slots__ = ("kmin", "kmax", "pmax", "ewma_weight", "rng", "avg", "_count")
+
+    def __init__(
+        self,
+        kmin_bytes: int,
+        kmax_bytes: Optional[int] = None,
+        pmax: float = 1.0,
+        ewma_weight: float = 1.0,
+        rng: Optional[random.Random] = None,
+    ) -> None:
+        if kmax_bytes is None:
+            kmax_bytes = kmin_bytes
+        if not 0 <= kmin_bytes <= kmax_bytes:
+            raise ValueError(f"need 0 <= kmin <= kmax, got ({kmin_bytes}, {kmax_bytes})")
+        if not 0.0 < pmax <= 1.0:
+            raise ValueError(f"pmax must be in (0, 1], got {pmax}")
+        if not 0.0 < ewma_weight <= 1.0:
+            raise ValueError(f"ewma_weight must be in (0, 1], got {ewma_weight}")
+        self.kmin = kmin_bytes
+        self.kmax = kmax_bytes
+        self.pmax = pmax
+        self.ewma_weight = ewma_weight
+        self.rng = rng or random.Random(0)
+        self.avg = 0.0
+        self._count = 0  # packets since last mark, for the RED correction
+
+    def decide(self, occupancy_bytes: int) -> bool:
+        """Update the average with ``occupancy_bytes`` and decide marking."""
+        w = self.ewma_weight
+        if w >= 1.0:
+            self.avg = float(occupancy_bytes)
+        else:
+            self.avg += w * (occupancy_bytes - self.avg)
+        avg = self.avg
+        if avg <= self.kmin:
+            self._count = 0
+            return False
+        if avg > self.kmax:
+            self._count = 0
+            return True
+        # gentle region: probabilistic marking with inter-mark correction
+        # (prob = base / (1 - count*base), count = packets since last mark)
+        base = self.pmax * (avg - self.kmin) / (self.kmax - self.kmin)
+        denom = 1.0 - self._count * base
+        prob = base / denom if denom > 0 else 1.0
+        self._count += 1
+        if self.rng.random() < prob:
+            self._count = 0
+            return True
+        return False
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<RedMarker K=[{self.kmin},{self.kmax}] pmax={self.pmax}>"

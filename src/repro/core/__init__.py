@@ -1,0 +1,16 @@
+"""The paper's contribution: TCN and its threshold arithmetic."""
+
+from repro.core.tcn import Tcn, ProbabilisticTcn
+from repro.core.thresholds import (
+    standard_red_threshold_bytes,
+    standard_tcn_threshold_ns,
+    ideal_red_threshold_bytes,
+)
+
+__all__ = [
+    "Tcn",
+    "ProbabilisticTcn",
+    "standard_red_threshold_bytes",
+    "standard_tcn_threshold_ns",
+    "ideal_red_threshold_bytes",
+]

@@ -1,0 +1,17 @@
+"""Experiment harness: declarative configs -> built topology -> results."""
+
+from repro.harness.config import ExperimentConfig
+from repro.harness.runner import ExperimentResult, run_experiment
+from repro.harness.schemes import SCHEMES, SCHEDULERS, TRANSPORTS
+from repro.harness.report import format_table, format_fct_rows
+
+__all__ = [
+    "ExperimentConfig",
+    "ExperimentResult",
+    "run_experiment",
+    "SCHEMES",
+    "SCHEDULERS",
+    "TRANSPORTS",
+    "format_table",
+    "format_fct_rows",
+]

@@ -1,0 +1,139 @@
+"""Declarative experiment configuration.
+
+One :class:`ExperimentConfig` captures everything that varies across the
+paper's figures: marking scheme, scheduler, transport, topology, workload,
+load, and the threshold constants.  Thresholds left at ``None`` are derived
+from Equations 1/3 (``C x RTT x lambda`` and ``RTT x lambda``); every bench
+either relies on that derivation or pins the exact values the paper quotes
+(30 KB for Fig. 1, 125 KB / 100 us for Fig. 3, ...).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.core.thresholds import (
+    standard_red_threshold_bytes,
+    standard_tcn_threshold_ns,
+)
+from repro.units import GBPS, KB, MSEC, USEC
+
+
+@dataclass
+class ExperimentConfig:
+    """Full description of one simulation run."""
+
+    # scheme under test
+    scheme: str = "tcn"            # key into harness.schemes.SCHEMES
+    scheduler: str = "dwrr"        # key into harness.schemes.SCHEDULERS
+    transport: str = "dctcp"       # key into harness.schemes.TRANSPORTS
+
+    # topology
+    topology: str = "star"         # "star" | "leafspine"
+    n_hosts: int = 9               # star only
+    n_leaf: int = 4                # leafspine only
+    n_spine: int = 4
+    hosts_per_leaf: int = 4
+    link_rate_bps: int = GBPS
+    buffer_bytes: int = 96 * KB
+    link_delay_ns: Optional[int] = None   # default: base_rtt / 4 (star)
+    base_rtt_ns: int = 250 * USEC
+
+    # queues
+    n_queues: int = 4              # total queues per port
+    n_high: int = 1                # strict-priority queues (sp_* schedulers)
+    quantum_bytes: int = 1500      # DWRR quantum / WFQ byte-weight basis
+
+    # thresholds (None -> Equations 1 and 3)
+    lam: float = 1.0
+    red_threshold_bytes: Optional[int] = None
+    tcn_threshold_ns: Optional[int] = None
+    codel_target_ns: Optional[int] = None      # default rtt/5 (testbed-style tuning)
+    codel_interval_ns: Optional[int] = None    # default 4 x rtt
+    dq_thresh_bytes: int = 10 * KB             # Algorithm 1 (ideal scheme)
+    mqecn_beta: float = 0.75
+
+    # workload
+    workload: str = "websearch"    # a workload name, or "mixed" (leafspine)
+    # optional tail clip (bytes): bounds the cost of simulating the extreme
+    # tail of the data-mining/Hadoop distributions at benchmark scale; the
+    # clipped mass collapses onto the clip point (EmpiricalCdf.truncated)
+    workload_clip_bytes: Optional[int] = None
+    load: float = 0.6
+    n_flows: int = 200
+    pias: bool = False
+    pias_threshold_bytes: int = 100 * KB
+
+    # transport tuning
+    init_cwnd: float = 16.0
+    min_rto_ns: int = 10 * MSEC
+    # The paper's testbed client multiplexes messages over 5 persistent
+    # TCP connections per host pair (§5): a new flow on a warm connection
+    # starts from the connection's converged window instead of slow
+    # starting from scratch.  Enable for testbed-style experiments.
+    persistent_connections: bool = False
+    connections_per_pair: int = 5
+    max_warm_cwnd: float = 64.0
+    # Socket-buffer / TSQ equivalent: real stacks bound a flow's window to
+    # a small multiple of its path BDP (receive-window autotuning, TCP
+    # Small Queues), which keeps an unmarked flow from bloating its own
+    # NIC FIFO by tens of milliseconds.  cwnd <= max(64, factor x BDP).
+    max_cwnd_bdp_factor: float = 4.0
+
+    # bookkeeping
+    seed: int = 1
+    max_sim_ns: int = 0            # 0 -> auto (generous multiple of last arrival)
+
+    def validate(self) -> None:
+        """Fail fast on inconsistent combinations."""
+        if self.topology not in ("star", "leafspine"):
+            raise ValueError(f"unknown topology {self.topology!r}")
+        if not 0.0 < self.load < 1.0:
+            raise ValueError(f"load must be in (0,1), got {self.load}")
+        if self.n_flows < 1:
+            raise ValueError(f"n_flows must be >= 1, got {self.n_flows}")
+        if self.scheduler.startswith("sp_") and not 0 < self.n_high < self.n_queues:
+            raise ValueError(
+                f"sp_* schedulers need 0 < n_high < n_queues "
+                f"(got {self.n_high}/{self.n_queues})"
+            )
+        if self.pias and not self.scheduler.startswith("sp"):
+            raise ValueError("PIAS tagging needs a strict-priority high queue")
+
+    # -- derived constants -----------------------------------------------
+
+    @property
+    def effective_red_threshold_bytes(self) -> int:
+        """Equation 1 unless pinned."""
+        if self.red_threshold_bytes is not None:
+            return self.red_threshold_bytes
+        return standard_red_threshold_bytes(
+            self.link_rate_bps, self.base_rtt_ns, self.lam
+        )
+
+    @property
+    def effective_tcn_threshold_ns(self) -> int:
+        """Equation 3 unless pinned."""
+        if self.tcn_threshold_ns is not None:
+            return self.tcn_threshold_ns
+        return standard_tcn_threshold_ns(self.base_rtt_ns, self.lam)
+
+    @property
+    def effective_codel_target_ns(self) -> int:
+        """Paper's testbed tuning: target ~= RTT x lambda / 5."""
+        if self.codel_target_ns is not None:
+            return self.codel_target_ns
+        return max(1, self.effective_tcn_threshold_ns // 5)
+
+    @property
+    def effective_codel_interval_ns(self) -> int:
+        """Paper's testbed tuning: interval ~= 4 x RTT."""
+        if self.codel_interval_ns is not None:
+            return self.codel_interval_ns
+        return 4 * self.base_rtt_ns
+
+    @property
+    def n_low(self) -> int:
+        """Low-priority (fair-queued) queues under sp_* schedulers."""
+        return self.n_queues - self.n_high

@@ -1,0 +1,305 @@
+"""Build a configured experiment, run it, and collect results.
+
+The runner reproduces the paper's two experiment shapes end to end:
+
+* **star / many-to-one** (§6.1.2-6.1.3): one client host fetches flows from
+  the remaining hosts; the switch port toward the client is the bottleneck.
+* **leafspine / all-to-all** (§6.2): every host exchanges flows with every
+  other; services partition the communication pairs, each with its own
+  workload when ``workload == "mixed"``.
+
+Results carry the paper's FCT statistics plus the packet-level counters
+(drops, marks, TCP timeouts — including timeouts suffered by small flows,
+which §6.2.1 reports explicitly).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.harness.config import ExperimentConfig
+from repro.harness.schemes import SCHEDULERS, SCHEMES, TRANSPORTS
+from repro.metrics.fct import FctCollector, FctSummary
+from repro.pias.tagger import PiasTagger
+from repro.sim.engine import Simulator
+from repro.sim.rng import RngFactory
+from repro.topo.leafspine import LeafSpineTopology
+from repro.topo.star import StarTopology
+from repro.transport.base import SenderBase
+from repro.transport.flow import Flow
+from repro.transport.receiver import Receiver
+from repro.units import MSEC, SEC
+from repro.workloads.distributions import ALL_WORKLOADS, workload_by_name
+from repro.workloads.generator import FlowGenerator
+
+_RUN_CHUNK_NS = 50 * MSEC
+
+
+@dataclass
+class ExperimentResult:
+    """Everything a bench or example needs from one run."""
+
+    config: ExperimentConfig
+    summary: FctSummary
+    completed: int
+    total: int
+    timeouts: int
+    timeouts_small: int
+    drops: int
+    marks: int
+    sim_ns: int
+    wall_s: float
+    flows: List[Flow] = field(repr=False, default_factory=list)
+
+    @property
+    def all_completed(self) -> bool:
+        return self.completed == self.total
+
+
+def run_experiment(cfg: ExperimentConfig) -> ExperimentResult:
+    """Run one configured experiment to completion."""
+    cfg.validate()
+    sim = Simulator()
+    rng = RngFactory(cfg.seed)
+    topo = _build_topology(sim, cfg)
+    flows = _build_flows(cfg, rng, topo)
+    collector = FctCollector()
+    tagger = _build_tagger(cfg)
+    senders = _wire_endpoints(sim, cfg, topo, flows, collector, tagger)
+
+    wall_start = time.time()
+    deadline = _deadline_ns(cfg, flows)
+    while collector.count < len(flows) and sim.now < deadline:
+        sim.run(until=min(sim.now + _RUN_CHUNK_NS, deadline))
+
+    switches = _switches_of(topo)
+    small_cut = 100_000
+    timeouts_small = sum(
+        s.stats.timeouts for s in senders if s.flow.size_bytes <= small_cut
+    )
+    return ExperimentResult(
+        config=cfg,
+        summary=collector.summarize(),
+        completed=collector.count,
+        total=len(flows),
+        timeouts=sum(s.stats.timeouts for s in senders),
+        timeouts_small=timeouts_small,
+        drops=sum(sw.total_drops() for sw in switches),
+        marks=sum(sw.total_marks() for sw in switches),
+        sim_ns=sim.now,
+        wall_s=time.time() - wall_start,
+        flows=flows,
+    )
+
+
+# -- builders ------------------------------------------------------------
+
+
+def _build_topology(sim: Simulator, cfg: ExperimentConfig):
+    sched_factory = lambda: SCHEDULERS[cfg.scheduler](cfg)  # noqa: E731
+    aqm_factory = lambda: SCHEMES[cfg.scheme](cfg)  # noqa: E731
+    if cfg.topology == "star":
+        delay = (
+            cfg.link_delay_ns
+            if cfg.link_delay_ns is not None
+            else cfg.base_rtt_ns // 4
+        )
+        return StarTopology(
+            sim,
+            cfg.n_hosts,
+            cfg.link_rate_bps,
+            sched_factory,
+            aqm_factory,
+            buffer_bytes=cfg.buffer_bytes,
+            link_delay_ns=delay,
+        )
+    # leafspine: most of the base RTT is end-host delay (as in §6.2 where
+    # 80 of 85.2 us sit at the hosts), so it rides on the host links.
+    host_delay = max(1, (cfg.base_rtt_ns - 8 * 650) // 4)
+    return LeafSpineTopology(
+        sim,
+        cfg.n_leaf,
+        cfg.n_spine,
+        cfg.hosts_per_leaf,
+        sched_factory,
+        aqm_factory,
+        edge_rate_bps=cfg.link_rate_bps,
+        buffer_bytes=cfg.buffer_bytes,
+        host_link_delay_ns=host_delay,
+        fabric_link_delay_ns=650,
+        ecmp_salt=cfg.seed,
+    )
+
+
+def _n_services(cfg: ExperimentConfig) -> int:
+    """Service queues available to workloads (low band under sp_*)."""
+    if cfg.scheduler.startswith("sp_") or cfg.pias:
+        return cfg.n_low
+    return cfg.n_queues
+
+
+def _build_flows(
+    cfg: ExperimentConfig, rng: RngFactory, topo
+) -> List[Flow]:
+    gen = FlowGenerator(rng)
+    n_services = _n_services(cfg)
+
+    def prepare(cdf):
+        if cfg.workload_clip_bytes is not None:
+            return cdf.truncated(cfg.workload_clip_bytes)
+        return cdf
+
+    if cfg.topology == "star":
+        cdf = prepare(workload_by_name(cfg.workload))
+        flows = gen.many_to_one(
+            senders=list(range(1, cfg.n_hosts)),
+            receiver=0,
+            cdf=cdf,
+            load=cfg.load,
+            link_rate_bps=cfg.link_rate_bps,
+            n_flows=cfg.n_flows,
+            n_services=n_services,
+        )
+    else:
+        if cfg.workload == "mixed":
+            cdfs = [
+                prepare(ALL_WORKLOADS[i % len(ALL_WORKLOADS)])
+                for i in range(n_services)
+            ]
+        else:
+            cdfs = [prepare(workload_by_name(cfg.workload))] * n_services
+        flows = gen.all_to_all(
+            hosts=list(range(topo.n_hosts)),
+            cdfs=cdfs,
+            load=cfg.load,
+            edge_rate_bps=cfg.link_rate_bps,
+            n_flows=cfg.n_flows,
+        )
+    if not cfg.pias:
+        # Map services past any strict-priority queues so high-priority
+        # queues stay reserved (they are only used with PIAS tagging).
+        offset = cfg.n_high if cfg.scheduler.startswith("sp_") else 0
+        for flow in flows:
+            flow.dscp = offset + flow.service
+    return flows
+
+
+def _build_tagger(cfg: ExperimentConfig) -> Optional[PiasTagger]:
+    if not cfg.pias:
+        return None
+    return PiasTagger(
+        threshold_bytes=cfg.pias_threshold_bytes,
+        high_dscp=0,
+        service_dscp_offset=cfg.n_high,
+    )
+
+
+class ConnectionPool:
+    """Warm-window reuse over persistent connections (§5).
+
+    The testbed client multiplexes messages over N persistent TCP
+    connections per host pair; a message starting on a warm connection
+    inherits the connection's converged congestion window (and is already
+    past slow start).  The pool keys connections by (src, dst, k) with k
+    assigned round-robin, remembers each connection's cwnd at message
+    completion, and hands it to the next message on that connection.
+    """
+
+    def __init__(self, per_pair: int, max_cwnd: float) -> None:
+        self.per_pair = per_pair
+        self.max_cwnd = max_cwnd
+        self._cwnd: Dict[tuple, float] = {}
+        self._next_k: Dict[tuple, int] = {}
+
+    def checkout(self, src: int, dst: int) -> tuple:
+        """Pick the connection for a new message: (key, warm cwnd or None)."""
+        pair = (src, dst)
+        k = self._next_k.get(pair, 0)
+        self._next_k[pair] = (k + 1) % self.per_pair
+        key = (src, dst, k)
+        return key, self._cwnd.get(key)
+
+    def release(self, key: tuple, cwnd: float) -> None:
+        self._cwnd[key] = min(cwnd, self.max_cwnd)
+
+
+def _wire_endpoints(
+    sim: Simulator,
+    cfg: ExperimentConfig,
+    topo,
+    flows: List[Flow],
+    collector: FctCollector,
+    tagger: Optional[PiasTagger],
+) -> List[SenderBase]:
+    sender_cls = TRANSPORTS[cfg.transport]
+    senders: List[SenderBase] = []
+    pool = (
+        ConnectionPool(cfg.connections_per_pair, cfg.max_warm_cwnd)
+        if cfg.persistent_connections
+        else None
+    )
+    from repro.units import MSS
+    bdp_pkts = cfg.link_rate_bps * cfg.base_rtt_ns / (8 * MSS * SEC)
+    max_cwnd = max(64.0, cfg.max_cwnd_bdp_factor * bdp_pkts)
+    for flow in flows:
+        Receiver(sim, topo.hosts[flow.dst], flow, on_complete=collector.on_complete)
+        sender = sender_cls(
+            sim,
+            topo.hosts[flow.src],
+            flow,
+            init_cwnd=cfg.init_cwnd,
+            min_rto_ns=cfg.min_rto_ns,
+            init_rto_ns=cfg.min_rto_ns,
+            tagger=tagger,
+            max_cwnd=max_cwnd,
+        )
+        senders.append(sender)
+        if pool is None:
+            sim.schedule_at(flow.start_ns, sender.start)
+        else:
+            sim.schedule_at(flow.start_ns, _WarmStart(pool, sender))
+    return senders
+
+
+class _WarmStart:
+    """Defer the warm-window checkout to the flow's actual start time."""
+
+    __slots__ = ("pool", "sender")
+
+    def __init__(self, pool: ConnectionPool, sender: SenderBase) -> None:
+        self.pool = pool
+        self.sender = sender
+
+    def __call__(self) -> None:
+        sender = self.sender
+        key, warm = self.pool.checkout(sender.flow.src, sender.flow.dst)
+        if warm is not None:
+            sender.cwnd = warm
+            # a warm connection is past slow start: continue in avoidance
+            sender.ssthresh = max(warm, 2.0)
+        pool = self.pool
+        prev_done = sender.on_done
+
+        def record_and_chain(s: SenderBase) -> None:
+            pool.release(key, s.cwnd)
+            if prev_done is not None:
+                prev_done(s)
+
+        sender.on_done = record_and_chain
+        sender.start()
+
+
+def _switches_of(topo) -> List:
+    if isinstance(topo, StarTopology):
+        return [topo.switch]
+    return list(topo.leaves) + list(topo.spines)
+
+
+def _deadline_ns(cfg: ExperimentConfig, flows: List[Flow]) -> int:
+    if cfg.max_sim_ns:
+        return cfg.max_sim_ns
+    last_arrival = max(f.start_ns for f in flows)
+    # generous drain allowance: the whole workload again, plus 2 s of slack
+    return last_arrival * 3 + 2 * SEC

@@ -1,0 +1,12 @@
+"""Result collection: FCT statistics, goodput and occupancy time series."""
+
+from repro.metrics.fct import FctCollector, FctSummary, percentile
+from repro.metrics.timeseries import GoodputTracker, OccupancySampler
+
+__all__ = [
+    "FctCollector",
+    "FctSummary",
+    "percentile",
+    "GoodputTracker",
+    "OccupancySampler",
+]

@@ -1,0 +1,96 @@
+"""Time-series instrumentation: goodput curves and buffer occupancy traces.
+
+* :class:`GoodputTracker` records application bytes delivered per key
+  (service, queue, host...) and bins them into rate curves — the data
+  behind Fig. 1 and Fig. 5a.
+* :class:`OccupancySampler` snapshots a port's buffered bytes on every
+  enqueue/dequeue (event-driven, via the port's ``occupancy_tracker`` hook)
+  or on a fixed period — the data behind Fig. 3.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, List, Optional, Tuple
+
+from repro.net.port import EgressPort
+from repro.sim.engine import Simulator
+from repro.units import SEC
+
+
+class GoodputTracker:
+    """Accumulates (time, bytes) deliveries per key."""
+
+    def __init__(self) -> None:
+        self._events: Dict[int, List[Tuple[int, int]]] = defaultdict(list)
+
+    def record(self, key: int, nbytes: int, now: int) -> None:
+        self._events[key].append((now, nbytes))
+
+    def total_bytes(self, key: int) -> int:
+        return sum(b for _, b in self._events[key])
+
+    def goodput_bps(self, key: int, t_from_ns: int, t_to_ns: int) -> float:
+        """Average delivery rate for ``key`` over a window."""
+        if t_to_ns <= t_from_ns:
+            raise ValueError("empty window")
+        total = sum(
+            b for t, b in self._events[key] if t_from_ns < t <= t_to_ns
+        )
+        return total * 8 * SEC / (t_to_ns - t_from_ns)
+
+    def series_bps(
+        self, key: int, bin_ns: int, t_end_ns: Optional[int] = None
+    ) -> List[Tuple[int, float]]:
+        """Binned rate curve: [(bin_end_time, rate_bps), ...]."""
+        events = self._events[key]
+        if not events:
+            return []
+        end = t_end_ns if t_end_ns is not None else max(t for t, _ in events)
+        n_bins = -(-end // bin_ns)
+        acc = [0] * n_bins
+        for t, b in events:
+            idx = min((t - 1) // bin_ns, n_bins - 1) if t > 0 else 0
+            acc[idx] += b
+        return [
+            ((i + 1) * bin_ns, acc[i] * 8 * SEC / bin_ns) for i in range(n_bins)
+        ]
+
+    def keys(self) -> List[int]:
+        return list(self._events)
+
+
+class OccupancySampler:
+    """Traces one port's buffer occupancy over time."""
+
+    def __init__(self, port: EgressPort, event_driven: bool = True) -> None:
+        self.port = port
+        self.samples: List[Tuple[int, int]] = []
+        if event_driven:
+            port.occupancy_tracker = self._on_change
+
+    def _on_change(self, now: int, occupancy: int) -> None:
+        self.samples.append((now, occupancy))
+
+    def start_periodic(self, sim: Simulator, period_ns: int) -> None:
+        """Alternative to event-driven tracing: fixed-period snapshots."""
+
+        def snap() -> None:
+            self.samples.append((sim.now, self.port.occupancy))
+            sim.schedule(period_ns, snap)
+
+        sim.schedule(period_ns, snap)
+
+    @property
+    def peak_bytes(self) -> int:
+        return max((occ for _, occ in self.samples), default=0)
+
+    def max_in_window(self, t_from_ns: int, t_to_ns: int) -> int:
+        return max(
+            (occ for t, occ in self.samples if t_from_ns <= t <= t_to_ns),
+            default=0,
+        )
+
+    def mean_in_window(self, t_from_ns: int, t_to_ns: int) -> float:
+        vals = [occ for t, occ in self.samples if t_from_ns <= t <= t_to_ns]
+        return sum(vals) / len(vals) if vals else 0.0

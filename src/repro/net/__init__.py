@@ -1,0 +1,28 @@
+"""Network substrate: packets, queues, links, switch ports, hosts.
+
+This package is the reproduction's stand-in for both the paper's
+server-emulated Linux qdisc switch and its ns-2 simulation substrate.  Every
+object here is driven purely by :class:`repro.sim.Simulator` events.
+"""
+
+from repro.net.packet import Packet, PacketKind
+from repro.net.queue import PacketQueue
+from repro.net.link import Link
+from repro.net.port import EgressPort, PortStats
+from repro.net.classifier import DscpClassifier
+from repro.net.switch import Switch
+from repro.net.host import Host
+from repro.net.nic import make_nic
+
+__all__ = [
+    "Packet",
+    "PacketKind",
+    "PacketQueue",
+    "Link",
+    "EgressPort",
+    "PortStats",
+    "DscpClassifier",
+    "Switch",
+    "Host",
+    "make_nic",
+]

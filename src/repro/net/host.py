@@ -1,0 +1,87 @@
+"""An end host: a NIC plus a demultiplexer to transport endpoints.
+
+The host owns one NIC egress port toward its switch and a table of
+connection halves keyed by flow id.  Data packets go to the registered
+receiver half, ACKs to the sender half, and probes are echoed back (the
+ping responder used for the paper's RTT measurements, Fig. 5b).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable, Dict, Optional
+
+from repro.net.packet import Packet, PacketKind
+from repro.net.port import EgressPort
+from repro.sim.engine import Simulator
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.transport.base import SenderBase
+    from repro.transport.receiver import Receiver
+
+
+class Host:
+    """One server: NIC + flow demux."""
+
+    def __init__(self, sim: Simulator, host_id: int, nic: EgressPort) -> None:
+        self.sim = sim
+        self.id = host_id
+        self.nic = nic
+        self._senders: Dict[int, "SenderBase"] = {}
+        self._receivers: Dict[int, "Receiver"] = {}
+        self._probe_handlers: Dict[int, Callable[[Packet], None]] = {}
+
+    # -- registration ------------------------------------------------------
+
+    def register_sender(self, flow_id: int, sender: "SenderBase") -> None:
+        self._senders[flow_id] = sender
+
+    def register_receiver(self, flow_id: int, receiver: "Receiver") -> None:
+        self._receivers[flow_id] = receiver
+
+    def register_probe_handler(
+        self, flow_id: int, handler: Callable[[Packet], None]
+    ) -> None:
+        self._probe_handlers[flow_id] = handler
+
+    def unregister_flow(self, flow_id: int) -> None:
+        """Drop endpoint state for a finished flow (keeps memory flat)."""
+        self._senders.pop(flow_id, None)
+        self._receivers.pop(flow_id, None)
+
+    # -- data path -----------------------------------------------------------
+
+    def send(self, pkt: Packet) -> None:
+        """Push a packet into the NIC toward the network."""
+        self.nic.receive(pkt)
+
+    def receive(self, pkt: Packet) -> None:
+        """Deliver a packet arriving from the network."""
+        kind = pkt.kind
+        if kind == PacketKind.DATA:
+            receiver = self._receivers.get(pkt.flow_id)
+            if receiver is not None:
+                receiver.on_data(pkt)
+        elif kind == PacketKind.ACK:
+            sender = self._senders.get(pkt.flow_id)
+            if sender is not None:
+                sender.on_ack(pkt)
+        elif kind == PacketKind.PROBE:
+            self._echo_probe(pkt)
+        elif kind == PacketKind.PROBE_REPLY:
+            handler = self._probe_handlers.get(pkt.flow_id)
+            if handler is not None:
+                handler(pkt)
+
+    def _echo_probe(self, probe: Packet) -> None:
+        reply = Packet(
+            probe.flow_id,
+            self.id,
+            probe.src,
+            PacketKind.PROBE_REPLY,
+            dscp=probe.dscp,
+            ts=probe.ts,
+        )
+        self.send(reply)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Host {self.id}>"

@@ -1,0 +1,35 @@
+"""Host NIC construction.
+
+A NIC is just an egress port with a single FIFO, no AQM, and a generous
+buffer: end-host queueing discipline is not under study, so hosts never
+drop and never mark.  (The paper's testbed shaped qdisc output at 99.5% of
+line rate purely to keep queueing visible inside the emulated switch; in
+the simulator the switch ports serialize exactly, so no shaving is needed.)
+"""
+
+from __future__ import annotations
+
+from repro.net.link import Link
+from repro.net.port import EgressPort
+from repro.sched.fifo import FifoScheduler
+from repro.sim.engine import Simulator
+from repro.units import MB
+
+
+def make_nic(
+    sim: Simulator,
+    rate_bps: int,
+    link: Link,
+    buffer_bytes: int = 16 * MB,
+    name: str = "nic",
+) -> EgressPort:
+    """Build a host NIC: FIFO, no AQM, large buffer."""
+    return EgressPort(
+        sim,
+        rate_bps=rate_bps,
+        buffer_bytes=buffer_bytes,
+        scheduler=FifoScheduler(),
+        aqm=None,
+        link=link,
+        name=name,
+    )

@@ -1,0 +1,152 @@
+"""The packet: the single unit that flows through the whole simulator.
+
+A :class:`Packet` models one wire frame.  Data segments carry a payload and
+the ECN ECT codepoint; pure ACKs carry the cumulative acknowledgement plus
+the ECN-Echo (ECE) bit the receiver reflects back; probes model ping.
+
+``enq_ts`` is the enqueue-time timestamp metadata that §4.2 of the paper
+describes attaching in hardware — the switch egress port stamps it on
+enqueue, and sojourn-time AQMs (TCN, CoDel, PIE) read it on dequeue.
+"""
+
+from __future__ import annotations
+
+from enum import IntEnum
+from typing import Optional
+
+from repro.units import ACK_SIZE, HEADER, PROBE_SIZE
+
+
+class PacketKind(IntEnum):
+    """What role a packet plays on the wire."""
+
+    DATA = 0
+    ACK = 1
+    PROBE = 2
+    PROBE_REPLY = 3
+
+
+class Packet:
+    """One frame in flight.
+
+    Attributes
+    ----------
+    flow_id:
+        Identifier of the owning flow (ECMP hashes on this).
+    src, dst:
+        Host ids; switches route on ``dst``.
+    kind:
+        A :class:`PacketKind`.
+    seq:
+        Data: segment index within the flow (0-based, in MSS units).
+        ACK: the cumulative acknowledgement (next expected segment).
+    payload:
+        Data payload bytes (0 for ACKs/probes).
+    wire_size:
+        Total bytes occupying buffers and the wire (payload + header).
+    ect / ce / ece:
+        The ECN machinery: ECN-Capable Transport codepoint, Congestion
+        Experienced mark set by AQMs, and the receiver's ECN-Echo on ACKs.
+    dscp:
+        Service tag used by the switch classifier to pick an egress queue.
+    ts:
+        Sender timestamp (ns) echoed back in ``ts_echo`` for RTT estimation.
+    enq_ts:
+        Set by the egress port at enqueue; read at dequeue for sojourn time.
+    """
+
+    __slots__ = (
+        "flow_id",
+        "src",
+        "dst",
+        "kind",
+        "seq",
+        "payload",
+        "wire_size",
+        "ect",
+        "ce",
+        "ece",
+        "dscp",
+        "ts",
+        "ts_echo",
+        "enq_ts",
+        "is_retx",
+    )
+
+    def __init__(
+        self,
+        flow_id: int,
+        src: int,
+        dst: int,
+        kind: PacketKind,
+        seq: int = 0,
+        payload: int = 0,
+        ect: bool = False,
+        dscp: int = 0,
+        ts: int = 0,
+    ) -> None:
+        self.flow_id = flow_id
+        self.src = src
+        self.dst = dst
+        self.kind = kind
+        self.seq = seq
+        self.payload = payload
+        if kind == PacketKind.DATA:
+            self.wire_size = payload + HEADER
+        elif kind == PacketKind.ACK:
+            self.wire_size = ACK_SIZE
+        else:
+            self.wire_size = PROBE_SIZE
+        self.ect = ect
+        self.ce = False
+        self.ece = False
+        self.dscp = dscp
+        self.ts = ts
+        self.ts_echo: int = 0
+        self.enq_ts: int = 0
+        self.is_retx = False
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        flags = "".join(
+            f for f, on in (("E", self.ect), ("C", self.ce), ("e", self.ece)) if on
+        )
+        return (
+            f"<Pkt f{self.flow_id} {self.kind.name} seq={self.seq} "
+            f"{self.src}->{self.dst} {self.wire_size}B dscp={self.dscp} {flags}>"
+        )
+
+
+def make_data(
+    flow_id: int,
+    src: int,
+    dst: int,
+    seq: int,
+    payload: int,
+    ect: bool,
+    dscp: int,
+    ts: int,
+) -> Packet:
+    """Build a data segment."""
+    return Packet(
+        flow_id, src, dst, PacketKind.DATA, seq=seq, payload=payload,
+        ect=ect, dscp=dscp, ts=ts,
+    )
+
+
+def make_ack(
+    data: Packet, ack: int, ece: bool, now: int, ect: bool = False,
+) -> Packet:
+    """Build the cumulative ACK triggered by ``data``.
+
+    The ACK travels the reverse path in the same service class as the data
+    it acknowledges, echoes the data packet's CE bit as ECE (per-packet ECN
+    echo, as DCTCP requires), and echoes the sender timestamp for RTT
+    estimation.
+    """
+    pkt = Packet(
+        data.flow_id, data.dst, data.src, PacketKind.ACK,
+        seq=ack, ect=ect, dscp=data.dscp, ts=now,
+    )
+    pkt.ece = ece
+    pkt.ts_echo = data.ts
+    return pkt

@@ -1,0 +1,197 @@
+"""The switch egress port: buffer admission, scheduling, marking, pacing.
+
+This object is the software analogue of one port of the paper's
+server-emulated switch (§5): a shared per-port buffer feeding a pluggable
+multi-queue scheduler, with AQM hooks on both sides of the scheduler and a
+serializer that models the output link (the qdisc prototype's token-bucket
+rate limiter collapses into exact per-packet serialization here, since we
+control the whole pipeline).
+
+Lifecycle of a packet through a port::
+
+    receive(pkt)
+      -> classifier: dscp -> queue index
+      -> admission: drop if port occupancy + pkt > buffer (shared,
+         first-in-first-serve, as in the paper's testbed switch)
+      -> stamp enq_ts; AQM.on_enqueue may set CE
+      -> scheduler.enqueue
+    _transmit loop (whenever link idle and scheduler non-empty)
+      -> scheduler.dequeue -> AQM.on_dequeue may set CE
+      -> serialize for wire_size*8/rate, then propagate for link.delay
+      -> link.dst.receive(pkt)
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable, List, Optional
+
+from repro.net.link import Link
+from repro.net.packet import Packet
+from repro.net.queue import PacketQueue
+from repro.sched.base import Scheduler
+from repro.sim.engine import Simulator
+from repro.units import SEC
+
+if TYPE_CHECKING:  # pragma: no cover - annotation-only import (avoids cycle)
+    from repro.aqm.base import Aqm
+
+
+class PortStats:
+    """Aggregate counters for one egress port."""
+
+    __slots__ = (
+        "rx_pkts",
+        "tx_pkts",
+        "tx_bytes",
+        "dropped_pkts",
+        "dropped_bytes",
+        "marked_pkts",
+    )
+
+    def __init__(self) -> None:
+        self.rx_pkts = 0
+        self.tx_pkts = 0
+        self.tx_bytes = 0
+        self.dropped_pkts = 0
+        self.dropped_bytes = 0
+        self.marked_pkts = 0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<PortStats rx={self.rx_pkts} tx={self.tx_pkts} "
+            f"drop={self.dropped_pkts} mark={self.marked_pkts}>"
+        )
+
+
+class EgressPort:
+    """One output port: shared buffer + scheduler + AQM + output link."""
+
+    __slots__ = (
+        "sim",
+        "name",
+        "rate_bps",
+        "buffer_bytes",
+        "scheduler",
+        "aqm",
+        "link",
+        "classify",
+        "occupancy",
+        "busy",
+        "stats",
+        "pool",
+        "occupancy_tracker",
+    )
+
+    def __init__(
+        self,
+        sim: Simulator,
+        rate_bps: int,
+        buffer_bytes: int,
+        scheduler: Scheduler,
+        aqm: Optional["Aqm"] = None,
+        link: Optional[Link] = None,
+        classify: Optional[Callable[[Packet], int]] = None,
+        name: str = "port",
+    ) -> None:
+        self.sim = sim
+        self.name = name
+        self.rate_bps = rate_bps
+        self.buffer_bytes = buffer_bytes
+        self.scheduler = scheduler
+        self.aqm = aqm
+        self.link = link
+        self.classify = classify or (lambda pkt: 0)
+        self.occupancy = 0
+        self.busy = False
+        self.stats = PortStats()
+        #: optional shared service pool (per-pool buffering / marking)
+        self.pool = None
+        #: optional callable(now, occupancy) sampled on every change
+        self.occupancy_tracker: Optional[Callable[[int, int], None]] = None
+        if aqm is not None:
+            aqm.setup(self)
+
+    # -- ingress ---------------------------------------------------------
+
+    def receive(self, pkt: Packet) -> None:
+        """Admit, classify, (maybe) mark, and enqueue an arriving packet."""
+        self.stats.rx_pkts += 1
+        size = pkt.wire_size
+        if self.occupancy + size > self.buffer_bytes or (
+            self.pool is not None and not self.pool.admit(size)
+        ):
+            self._drop(pkt)
+            return
+        qidx = self.classify(pkt)
+        queue = self.scheduler.queues[qidx]
+        now = self.sim.now
+        pkt.enq_ts = now
+        if self.aqm is not None and self.aqm.on_enqueue(self, queue, pkt, now):
+            self._mark(pkt, queue)
+        self.occupancy += size
+        if self.pool is not None:
+            self.pool.occupancy += size
+        self.scheduler.enqueue(pkt, qidx, now)
+        if self.occupancy_tracker is not None:
+            self.occupancy_tracker(now, self.occupancy)
+        if not self.busy:
+            self._transmit()
+
+    # -- egress ----------------------------------------------------------
+
+    def _transmit(self) -> None:
+        result = self.scheduler.dequeue(self.sim.now)
+        if result is None:
+            return
+        pkt, queue = result
+        now = self.sim.now
+        if self.aqm is not None and self.aqm.on_dequeue(self, queue, pkt, now):
+            self._mark(pkt, queue)
+        size = pkt.wire_size
+        self.occupancy -= size
+        if self.pool is not None:
+            self.pool.occupancy -= size
+        if self.occupancy_tracker is not None:
+            self.occupancy_tracker(now, self.occupancy)
+        self.busy = True
+        tx_ns = -(-size * 8 * SEC // self.rate_bps)
+        self.sim.schedule(tx_ns, self._tx_done)
+        if self.link is not None:
+            self.sim.schedule(tx_ns + self.link.delay_ns, _Delivery(self.link.dst, pkt))
+        self.stats.tx_pkts += 1
+        self.stats.tx_bytes += size
+
+    def _tx_done(self) -> None:
+        self.busy = False
+        if not self.scheduler.is_empty:
+            self._transmit()
+
+    # -- helpers -----------------------------------------------------------
+
+    def _mark(self, pkt: Packet, queue: PacketQueue) -> None:
+        if pkt.ect and not pkt.ce:
+            pkt.ce = True
+            queue.marked_pkts += 1
+            self.stats.marked_pkts += 1
+
+    def _drop(self, pkt: Packet) -> None:
+        self.stats.dropped_pkts += 1
+        self.stats.dropped_bytes += pkt.wire_size
+        qidx = self.classify(pkt)
+        self.scheduler.queues[qidx].dropped_pkts += 1
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<EgressPort {self.name} {self.occupancy}B buffered>"
+
+
+class _Delivery:
+    """Pre-bound delivery callback — cheaper than a closure per packet."""
+
+    __slots__ = ("dst", "pkt")
+
+    def __init__(self, dst, pkt: Packet) -> None:
+        self.dst = dst
+        self.pkt = pkt
+
+    def __call__(self) -> None:
+        self.dst.receive(self.pkt)

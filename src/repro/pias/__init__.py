@@ -1,0 +1,5 @@
+"""PIAS-style flow scheduling at end hosts."""
+
+from repro.pias.tagger import PiasTagger
+
+__all__ = ["PiasTagger"]

@@ -1,0 +1,52 @@
+"""Two-priority PIAS tagging (Bai et al., NSDI 2015), as used in §6.1.3/§6.2.
+
+The paper installs a Netfilter module that tags the first 100 KB of every
+flow (message) into a shared strict-high-priority queue and the rest into
+the flow's dedicated service queue.  Here the same rule is a per-packet
+DSCP function plugged into the sender (the ``tagger`` hook): byte offsets
+below the threshold map to the high-priority DSCP, later bytes to the
+flow's service DSCP.
+
+Retransmitted segments keep the tag of their original byte offset, exactly
+as a byte-count-based kernel tagger behaves.
+"""
+
+from __future__ import annotations
+
+from repro.transport.flow import Flow
+from repro.units import KB, MSS
+
+
+class PiasTagger:
+    """Maps (flow, segment index) -> DSCP for two-priority PIAS.
+
+    Parameters
+    ----------
+    threshold_bytes:
+        Demotion threshold; the paper uses 100 KB.
+    high_dscp:
+        DSCP of the shared strict-high-priority queue.
+    service_dscp_offset:
+        Service queues sit at DSCP ``offset + flow.service`` (the offset is
+        the number of high-priority queues, usually 1).
+    """
+
+    __slots__ = ("threshold_bytes", "high_dscp", "service_dscp_offset")
+
+    def __init__(
+        self,
+        threshold_bytes: int = 100 * KB,
+        high_dscp: int = 0,
+        service_dscp_offset: int = 1,
+    ) -> None:
+        if threshold_bytes < 0:
+            raise ValueError(f"threshold must be >= 0, got {threshold_bytes}")
+        self.threshold_bytes = threshold_bytes
+        self.high_dscp = high_dscp
+        self.service_dscp_offset = service_dscp_offset
+
+    def __call__(self, flow: Flow, seq: int) -> int:
+        sent_before = seq * MSS
+        if sent_before < self.threshold_bytes:
+            return self.high_dscp
+        return self.service_dscp_offset + flow.service

@@ -1,0 +1,29 @@
+"""Packet schedulers: FIFO, SP, WRR, DWRR, WFQ, SP hybrids, and PIFO.
+
+All schedulers share the :class:`~repro.sched.base.Scheduler` interface so an
+egress port (and any AQM) is agnostic to the discipline — the property that
+TCN exploits and queue-length ECN/RED cannot.
+"""
+
+from repro.sched.base import Scheduler
+from repro.sched.fifo import FifoScheduler
+from repro.sched.sp import StrictPriorityScheduler
+from repro.sched.wrr import WrrScheduler
+from repro.sched.dwrr import DwrrScheduler
+from repro.sched.wfq import WfqScheduler
+from repro.sched.hybrid import SpDwrrScheduler, SpWfqScheduler
+from repro.sched.pifo import PifoScheduler, stfq_rank, lstf_rank
+
+__all__ = [
+    "Scheduler",
+    "FifoScheduler",
+    "StrictPriorityScheduler",
+    "WrrScheduler",
+    "DwrrScheduler",
+    "WfqScheduler",
+    "SpDwrrScheduler",
+    "SpWfqScheduler",
+    "PifoScheduler",
+    "stfq_rank",
+    "lstf_rank",
+]

@@ -1,0 +1,84 @@
+"""Deficit Weighted Round Robin (DWRR).
+
+The classic Shreedhar-Varghese discipline: active queues sit in a circular
+list; each time a queue reaches the head of the list it earns ``quantum``
+bytes of deficit, spends it on whole packets, and rotates to the tail when
+the head packet no longer fits.
+
+This implementation additionally measures the *round time* — the interval
+between two consecutive service-turn starts of the same queue — and reports
+it through :attr:`~repro.sched.base.Scheduler.round_observer`.  That is the
+quantity MQ-ECN divides the quantum by to estimate queue capacity (§3.3),
+and is exactly the per-queue timestamp the paper's qdisc prototype keeps
+(§5, "to implement MQ-ECN, we maintain a timestamp for each queue to track
+round time").
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, List, Optional, Tuple
+
+from repro.net.packet import Packet
+from repro.net.queue import PacketQueue
+from repro.sched.base import Scheduler
+
+
+class DwrrScheduler(Scheduler):
+    """Deficit weighted round robin over the queue bank."""
+
+    supports_rounds = True
+
+    def __init__(self, queues: List[PacketQueue]) -> None:
+        super().__init__(queues)
+        n = len(queues)
+        self._active: Deque[PacketQueue] = deque()
+        self._in_active = [False] * n
+        self._deficit = [0] * n
+        self._needs_refresh = [True] * n
+        self._last_turn_start: List[Optional[int]] = [None] * n
+
+    def enqueue(self, pkt: Packet, qidx: int, now: int) -> None:
+        queue = self._account_enqueue(pkt, qidx)
+        if not self._in_active[qidx]:
+            self._active.append(queue)
+            self._in_active[qidx] = True
+            self._deficit[qidx] = 0
+            self._needs_refresh[qidx] = True
+            # A queue that went idle and came back starts a fresh round
+            # history: the gap while idle is not a service-round sample.
+            self._last_turn_start[qidx] = None
+
+    def dequeue(self, now: int) -> Optional[Tuple[Packet, PacketQueue]]:
+        active = self._active
+        while active:
+            queue = active[0]
+            idx = queue.index
+            if self._needs_refresh[idx]:
+                self._start_turn(queue, now)
+            head = queue.head()
+            assert head is not None  # active queues are never empty
+            if head.wire_size <= self._deficit[idx]:
+                self._deficit[idx] -= head.wire_size
+                pkt = self._account_dequeue(queue)
+                if not queue:
+                    active.popleft()
+                    self._in_active[idx] = False
+                    self._deficit[idx] = 0
+                    self._needs_refresh[idx] = True
+                return pkt, queue
+            # Deficit exhausted: rotate to the tail; the next visit starts a
+            # new service turn (and earns a new quantum).
+            active.popleft()
+            active.append(queue)
+            self._needs_refresh[idx] = True
+        return None
+
+    def _start_turn(self, queue: PacketQueue, now: int) -> None:
+        idx = queue.index
+        last = self._last_turn_start[idx]
+        if last is not None and self.round_observer is not None and now > last:
+            self.round_observer(queue, now - last, now)
+        self._last_turn_start[idx] = now
+        self._deficit[idx] += queue.quantum
+        self._needs_refresh[idx] = False

@@ -1,0 +1,25 @@
+"""Single-queue FIFO — used by host NICs and single-queue experiments."""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.net.packet import Packet
+from repro.net.queue import PacketQueue
+from repro.sched.base import Scheduler
+
+
+class FifoScheduler(Scheduler):
+    """First-in first-out over one queue; ``qidx`` is ignored."""
+
+    def __init__(self, queues: Optional[List[PacketQueue]] = None) -> None:
+        super().__init__(queues or [PacketQueue(0)])
+
+    def enqueue(self, pkt: Packet, qidx: int = 0, now: int = 0) -> None:
+        self._account_enqueue(pkt, 0)
+
+    def dequeue(self, now: int) -> Optional[Tuple[Packet, PacketQueue]]:
+        queue = self.queues[0]
+        if not queue:
+            return None
+        return self._account_dequeue(queue), queue

@@ -1,0 +1,97 @@
+"""SP/WFQ and SP/DWRR: strict priority over a fair-queued low band.
+
+These are the paper's production-style hybrids (§5): a handful of strict
+higher-priority queues for latency-critical traffic, with all remaining
+queues sharing the lowest priority under WFQ or DWRR.  Packets are only
+drawn from the low band when every high-priority queue is empty.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.net.packet import Packet
+from repro.net.queue import PacketQueue
+from repro.sched.base import Scheduler
+from repro.sched.dwrr import DwrrScheduler
+from repro.sched.wfq import WfqScheduler
+
+
+class _SpOverScheduler(Scheduler):
+    """Shared machinery: first ``n_high`` queues strict, rest delegated."""
+
+    _low_cls: type = None  # type: ignore[assignment]
+
+    def __init__(self, queues: List[PacketQueue], n_high: int = 1) -> None:
+        if not 0 < n_high < len(queues):
+            raise ValueError(
+                f"need 0 < n_high < n_queues, got n_high={n_high} "
+                f"with {len(queues)} queues"
+            )
+        super().__init__(queues)
+        self._high = queues[:n_high]
+        # The low-band sub-scheduler works on re-indexed queue objects; we
+        # keep the original objects (global indices) and translate.
+        self._low_queues = queues[n_high:]
+        self._n_high = n_high
+        self._low = self._make_low(self._low_queues, n_high)
+
+    def _make_low(self, low_queues: List[PacketQueue], n_high: int) -> Scheduler:
+        raise NotImplementedError
+
+    def enqueue(self, pkt: Packet, qidx: int, now: int) -> None:
+        if qidx < self._n_high:
+            self._account_enqueue(pkt, qidx)
+        else:
+            self.total_bytes += pkt.wire_size
+            self._low.enqueue(pkt, qidx - self._n_high, now)
+
+    def dequeue(self, now: int) -> Optional[Tuple[Packet, PacketQueue]]:
+        for queue in self._high:
+            if queue:
+                return self._account_dequeue(queue), queue
+        result = self._low.dequeue(now)
+        if result is None:
+            return None
+        pkt, queue = result
+        self.total_bytes -= pkt.wire_size
+        return pkt, queue
+
+
+def _reindex(queues: List[PacketQueue]) -> List[PacketQueue]:
+    """Give the low-band queues local indices 0..n-1 for the sub-scheduler.
+
+    The queue objects themselves are shared (byte counts, stats and AQM
+    state remain global); only ``index`` is rewritten, so the global
+    classifier must map DSCPs to *global* indices and the hybrid translates.
+    """
+    for local, queue in enumerate(queues):
+        queue.index = local
+    return queues
+
+
+class SpDwrrScheduler(_SpOverScheduler):
+    """Strict priority queues over a DWRR low band (paper's SP/DWRR)."""
+
+    supports_rounds = True  # rounds exist within the DWRR band
+
+    def _make_low(self, low_queues: List[PacketQueue], n_high: int) -> Scheduler:
+        return DwrrScheduler(_reindex(low_queues))
+
+    @property
+    def round_observer(self):  # type: ignore[override]
+        return self._low.round_observer
+
+    @round_observer.setter
+    def round_observer(self, fn) -> None:
+        # During base-class __init__ the low scheduler does not exist yet.
+        low = getattr(self, "_low", None)
+        if low is not None:
+            low.round_observer = fn
+
+
+class SpWfqScheduler(_SpOverScheduler):
+    """Strict priority queues over a WFQ low band (paper's SP/WFQ)."""
+
+    def _make_low(self, low_queues: List[PacketQueue], n_high: int) -> Scheduler:
+        return WfqScheduler(_reindex(low_queues))

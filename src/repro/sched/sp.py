@@ -1,0 +1,41 @@
+"""Strict priority scheduling.
+
+The queue with the numerically lowest ``priority`` value that holds a packet
+is always served first; ties break toward the lower queue index.  Pure SP is
+one of the two fixed-function disciplines commodity chips universally offer
+(§2.2) and one of the schedulers MQ-ECN cannot support.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.net.packet import Packet
+from repro.net.queue import PacketQueue
+from repro.sched.base import Scheduler
+
+
+class StrictPriorityScheduler(Scheduler):
+    """Serve queues in fixed priority order.
+
+    If queues are constructed without explicit priorities, the queue index
+    is used (queue 0 is the highest priority), matching common hardware
+    defaults.
+    """
+
+    def __init__(self, queues: List[PacketQueue]) -> None:
+        super().__init__(queues)
+        if all(q.priority == 0 for q in queues) and len(queues) > 1:
+            for q in queues:
+                q.priority = q.index
+        # fixed service order, computed once
+        self._order = sorted(queues, key=lambda q: (q.priority, q.index))
+
+    def enqueue(self, pkt: Packet, qidx: int, now: int) -> None:
+        self._account_enqueue(pkt, qidx)
+
+    def dequeue(self, now: int) -> Optional[Tuple[Packet, PacketQueue]]:
+        for queue in self._order:
+            if queue:
+                return self._account_dequeue(queue), queue
+        return None

@@ -1,0 +1,67 @@
+"""Weighted Fair Queueing, self-clocked (SCFQ) flavour.
+
+Each queue carries a running *virtual finish time*; an arriving packet is
+stamped ``max(V, last_finish) + size / weight`` and the scheduler always
+transmits the head packet with the smallest stamp, advancing the system
+virtual time ``V`` to that stamp.  This is the "maintain a virtual time for
+the head packet of each queue, choose the smallest" design the paper's qdisc
+prototype describes (§5), and it has no notion of a round — which is why
+MQ-ECN cannot run on it while TCN can.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, List, Optional, Tuple
+
+from repro.net.packet import Packet
+from repro.net.queue import PacketQueue
+from repro.sched.base import Scheduler
+
+
+class WfqScheduler(Scheduler):
+    """Self-clocked weighted fair queueing."""
+
+    def __init__(self, queues: List[PacketQueue]) -> None:
+        super().__init__(queues)
+        for queue in queues:
+            if queue.weight <= 0:
+                raise ValueError(
+                    f"WFQ weights must be positive (queue {queue.index} "
+                    f"has {queue.weight})"
+                )
+        n = len(queues)
+        # Virtual finish tag of each buffered packet, FIFO per queue.
+        self._tags: List[Deque[float]] = [deque() for _ in range(n)]
+        self._last_finish = [0.0] * n
+        self._vtime = 0.0
+
+    def enqueue(self, pkt: Packet, qidx: int, now: int) -> None:
+        queue = self._account_enqueue(pkt, qidx)
+        start = max(self._vtime, self._last_finish[qidx])
+        finish = start + pkt.wire_size / queue.weight
+        self._last_finish[qidx] = finish
+        self._tags[qidx].append(finish)
+
+    def dequeue(self, now: int) -> Optional[Tuple[Packet, PacketQueue]]:
+        best_queue: Optional[PacketQueue] = None
+        best_tag = 0.0
+        for queue in self.queues:
+            if not queue:
+                continue
+            tag = self._tags[queue.index][0]
+            if best_queue is None or tag < best_tag:
+                best_queue = queue
+                best_tag = tag
+        if best_queue is None:
+            return None
+        self._tags[best_queue.index].popleft()
+        self._vtime = best_tag
+        pkt = self._account_dequeue(best_queue)
+        if self.total_bytes == 0:
+            # System idle: reset virtual time so tags do not grow without
+            # bound over a long simulation.
+            self._vtime = 0.0
+            for i in range(len(self._last_finish)):
+                self._last_finish[i] = 0.0
+        return pkt, best_queue

@@ -1,0 +1,38 @@
+"""Deterministic random-number streams.
+
+Every experiment owns a single :class:`RngFactory` seeded once.  Components
+(the flow generator, ECMP hashing salt, per-service workload samplers, ...)
+ask the factory for an independent named stream, so adding a new consumer of
+randomness never perturbs the draws seen by existing ones.  This is what
+makes A/B comparisons between AQM schemes use identical workloads.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+from typing import Dict
+
+
+class RngFactory:
+    """Hands out independent, reproducible ``random.Random`` streams.
+
+    >>> f1, f2 = RngFactory(7), RngFactory(7)
+    >>> f1.stream("flows").random() == f2.stream("flows").random()
+    True
+    >>> f1.stream("flows") is f1.stream("flows")
+    True
+    """
+
+    def __init__(self, seed: int) -> None:
+        self.seed = seed
+        self._streams: Dict[str, random.Random] = {}
+
+    def stream(self, name: str) -> random.Random:
+        """Return the stream for ``name``, creating it on first use."""
+        rng = self._streams.get(name)
+        if rng is None:
+            digest = hashlib.sha256(f"{self.seed}:{name}".encode()).digest()
+            rng = random.Random(int.from_bytes(digest[:8], "big"))
+            self._streams[name] = rng
+        return rng

@@ -1,0 +1,6 @@
+"""Topology builders: the testbed star and the leaf-spine fabric."""
+
+from repro.topo.star import StarTopology
+from repro.topo.leafspine import LeafSpineTopology
+
+__all__ = ["StarTopology", "LeafSpineTopology"]

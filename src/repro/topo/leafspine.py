@@ -1,0 +1,164 @@
+"""Leaf-spine fabric with per-flow ECMP — the §6.2 simulation topology.
+
+Hosts hang off leaf (ToR) switches; every leaf connects to every spine.
+Up-traffic picks a spine by hashing the flow id (per-flow ECMP, so a flow —
+and its reverse ACK stream — sticks to one path and never reorders), down-
+traffic routes by destination.  The paper's full scale is 12 leaves x 12
+spines x 144 hosts; the builder takes arbitrary dimensions so benchmarks
+can run a scaled-down fabric with identical structure.
+
+All fabric egress ports (leaf->host, leaf->spine, spine->leaf) receive the
+same scheduler/AQM configuration, as in the ns-2 setup where every switch
+port runs the scheme under test.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional
+
+from repro.aqm.base import Aqm
+from repro.net.classifier import DscpClassifier
+from repro.net.host import Host
+from repro.net.link import Link
+from repro.net.nic import make_nic
+from repro.net.packet import Packet
+from repro.net.port import EgressPort
+from repro.net.switch import Switch
+from repro.sched.base import Scheduler
+from repro.sim.engine import Simulator
+from repro.units import KB
+
+SchedFactory = Callable[[], Scheduler]
+AqmFactory = Callable[[], Optional[Aqm]]
+
+_HASH_MULT = 2654435761  # Knuth multiplicative hash
+
+
+class LeafSpineTopology:
+    """A (possibly scaled-down) leaf-spine datacenter fabric."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        n_leaf: int,
+        n_spine: int,
+        hosts_per_leaf: int,
+        sched_factory: SchedFactory,
+        aqm_factory: AqmFactory,
+        edge_rate_bps: int,
+        fabric_rate_bps: Optional[int] = None,
+        buffer_bytes: int = 300 * KB,
+        host_link_delay_ns: int = 20_000,
+        fabric_link_delay_ns: int = 650,
+        classifier_table: Optional[dict] = None,
+        ecmp_salt: int = 0,
+    ) -> None:
+        if n_leaf < 1 or n_spine < 1 or hosts_per_leaf < 1:
+            raise ValueError(
+                f"invalid fabric dimensions "
+                f"({n_leaf} leaves, {n_spine} spines, {hosts_per_leaf} hosts/leaf)"
+            )
+        self.sim = sim
+        self.n_leaf = n_leaf
+        self.n_spine = n_spine
+        self.hosts_per_leaf = hosts_per_leaf
+        self.edge_rate_bps = edge_rate_bps
+        self.fabric_rate_bps = fabric_rate_bps or edge_rate_bps
+        self.host_link_delay_ns = host_link_delay_ns
+        self.fabric_link_delay_ns = fabric_link_delay_ns
+        self.ecmp_salt = ecmp_salt
+        self.hosts: List[Host] = []
+        self.leaves: List[Switch] = []
+        self.spines: List[Switch] = []
+
+        def new_port(sw: Switch, rate: int, name: str) -> EgressPort:
+            scheduler = sched_factory()
+            port = EgressPort(
+                sim,
+                rate_bps=rate,
+                buffer_bytes=buffer_bytes,
+                scheduler=scheduler,
+                aqm=aqm_factory(),
+                classify=DscpClassifier(len(scheduler.queues), classifier_table),
+                name=name,
+            )
+            return sw.add_port(port)
+
+        for leaf_id in range(n_leaf):
+            leaf = Switch(sim, name=f"leaf{leaf_id}")
+            self.leaves.append(leaf)
+        for spine_id in range(n_spine):
+            spine = Switch(sim, name=f"spine{spine_id}")
+            self.spines.append(spine)
+
+        # hosts and leaf->host ports
+        for leaf_id, leaf in enumerate(self.leaves):
+            for slot in range(hosts_per_leaf):
+                host_id = leaf_id * hosts_per_leaf + slot
+                port = new_port(leaf, edge_rate_bps, f"leaf{leaf_id}:h{slot}")
+                nic = make_nic(
+                    sim,
+                    rate_bps=edge_rate_bps,
+                    link=Link(leaf, host_link_delay_ns),
+                    name=f"h{host_id}:nic",
+                )
+                host = Host(sim, host_id, nic)
+                port.link = Link(host, host_link_delay_ns)
+                leaf.set_route(host_id, port)
+                self.hosts.append(host)
+
+        # leaf<->spine ports
+        self._uplinks: List[List[EgressPort]] = []
+        for leaf_id, leaf in enumerate(self.leaves):
+            ups = []
+            for spine_id, spine in enumerate(self.spines):
+                up = new_port(leaf, self.fabric_rate_bps, f"leaf{leaf_id}:up{spine_id}")
+                up.link = Link(spine, fabric_link_delay_ns)
+                ups.append(up)
+                down = new_port(
+                    spine, self.fabric_rate_bps, f"spine{spine_id}:down{leaf_id}"
+                )
+                down.link = Link(leaf, fabric_link_delay_ns)
+                for slot in range(hosts_per_leaf):
+                    spine.set_route(leaf_id * hosts_per_leaf + slot, down)
+            self._uplinks.append(ups)
+
+        for leaf_id, leaf in enumerate(self.leaves):
+            leaf.route_fn = self._make_leaf_router(leaf_id, leaf)
+
+    # -- routing -------------------------------------------------------------
+
+    def leaf_of(self, host_id: int) -> int:
+        return host_id // self.hosts_per_leaf
+
+    def ecmp_spine(self, flow_id: int) -> int:
+        """Deterministic per-flow spine choice."""
+        return ((flow_id + self.ecmp_salt) * _HASH_MULT & 0xFFFFFFFF) % self.n_spine
+
+    def _make_leaf_router(self, leaf_id: int, leaf: Switch):
+        uplinks = self._uplinks[leaf_id]
+
+        def route(pkt: Packet) -> EgressPort:
+            if self.leaf_of(pkt.dst) == leaf_id:
+                return leaf._dst_table[pkt.dst]
+            return uplinks[self.ecmp_spine(pkt.flow_id)]
+
+        return route
+
+    # -- conveniences --------------------------------------------------------
+
+    @property
+    def n_hosts(self) -> int:
+        return self.n_leaf * self.hosts_per_leaf
+
+    @property
+    def base_rtt_ns(self) -> int:
+        """Propagation-only RTT between hosts under different leaves
+        (host links + 2 fabric hops each way)."""
+        return 4 * self.host_link_delay_ns + 8 * self.fabric_link_delay_ns
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<LeafSpine {self.n_leaf}x{self.n_spine} "
+            f"{self.n_hosts} hosts @{self.edge_rate_bps}bps>"
+        )

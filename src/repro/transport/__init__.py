@@ -1,0 +1,25 @@
+"""ECN-capable transports: DCTCP and ECN* over a shared NewReno base.
+
+The paper's end hosts run DCTCP (testbed and default simulations) and ECN*
+(robustness simulations, §6.2.2).  Both are implemented as window-based
+senders over a common loss-recovery core; receivers echo CE marks per
+packet (ECE) exactly as DCTCP requires.
+"""
+
+from repro.transport.flow import Flow
+from repro.transport.base import SenderBase, TransportStats
+from repro.transport.tcp import EcnStarSender, RenoSender
+from repro.transport.dctcp import DctcpSender
+from repro.transport.dcqcn import DcqcnSender
+from repro.transport.receiver import Receiver
+
+__all__ = [
+    "Flow",
+    "SenderBase",
+    "TransportStats",
+    "EcnStarSender",
+    "RenoSender",
+    "DctcpSender",
+    "DcqcnSender",
+    "Receiver",
+]

@@ -1,0 +1,181 @@
+"""DCQCN-style rate-based congestion control (Zhu et al., SIGCOMM 2015).
+
+The paper's discussion (§4.3) names this pairing as future work: DCQCN is
+the ECN-based congestion control of RoCEv2 deployments, it *requires*
+RED-like probabilistic marking to stay fair, and TCN's probabilistic
+variant (:class:`repro.core.tcn.ProbabilisticTcn`) provides exactly that
+signal under any scheduler.  This module implements a faithful,
+simulator-scale DCQCN sender so the combination can be evaluated.
+
+Model (following the DCQCN paper's reaction point):
+
+* transmission is **rate-paced** (no congestion window — RDMA NICs pace);
+  reliability still uses go-back-N on timeout, as RoCE NICs do;
+* the receiver's per-packet ECE echo stands in for CNPs (congestion
+  notification packets);
+* on the first marked ACK of each ~RTT window: remember the target rate
+  ``RT = RC``, cut ``RC *= (1 - alpha/2)``, and bump
+  ``alpha = (1-g) alpha + g``;
+* a periodic timer decays ``alpha *= (1-g)`` when no mark arrived, and
+  raises the rate in DCQCN's two phases: *fast recovery* (five halvings of
+  the gap: ``RC = (RT + RC)/2``) then *additive increase*
+  (``RT += R_AI``).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.net.host import Host
+from repro.sim.engine import Event, Simulator
+from repro.transport.base import SenderBase, Tagger
+from repro.transport.flow import Flow
+from repro.units import MSEC, MSS, SEC, USEC
+
+
+class DcqcnSender(SenderBase):
+    """Rate-paced sender with DCQCN's alpha/rate control laws.
+
+    The inherited window machinery is retained purely for loss recovery
+    (go-back-N via RTO, dupack fast retransmit); the *sending rate* is
+    governed by DCQCN's ``RC`` instead of the window: packets are released
+    one at a time by a pacing timer.
+    """
+
+    ecn_capable = True
+
+    #: alpha gain (DCQCN's g)
+    g = 1.0 / 16.0
+    #: additive increase step (bits/s)
+    r_ai_bps = 40_000_000
+    #: fast-recovery stages before additive increase
+    fr_stages = 5
+
+    def __init__(
+        self,
+        sim: Simulator,
+        host: Host,
+        flow: Flow,
+        line_rate_bps: int,
+        alpha_timer_ns: int = 55 * USEC,
+        rate_timer_ns: int = 300 * USEC,
+        min_rate_bps: int = 10_000_000,
+        min_rto_ns: int = 5 * MSEC,
+        tagger: Optional[Tagger] = None,
+        **kwargs,
+    ) -> None:
+        super().__init__(
+            sim, host, flow, init_cwnd=1.0, min_rto_ns=min_rto_ns,
+            tagger=tagger, **kwargs,
+        )
+        # effectively unbounded window: rate pacing is the throttle
+        self.cwnd = float(1 << 20)
+        self.max_cwnd = float(1 << 20)
+        self.line_rate_bps = line_rate_bps
+        self.min_rate_bps = min_rate_bps
+        self.rc_bps = float(line_rate_bps)   # current rate
+        self.rt_bps = float(line_rate_bps)   # target rate
+        self.alpha = 1.0
+        self.alpha_timer_ns = alpha_timer_ns
+        self.rate_timer_ns = rate_timer_ns
+        self._marked_since_alpha_timer = False
+        self._cut_since_rate_timer = False
+        self._fr_count = 0
+        self._pace_event: Optional[Event] = None
+        self._timers_started = False
+
+    # -- pacing ----------------------------------------------------------
+
+    def start(self) -> None:
+        self.flow.start_ns = self.sim.now
+        if not self._timers_started:
+            self._timers_started = True
+            self.sim.schedule(self.alpha_timer_ns, self._alpha_timer)
+            self.sim.schedule(self.rate_timer_ns, self._rate_timer)
+        self._pace_next()
+
+    def _send_window(self) -> None:  # called by ACK/RTO paths
+        # Under pacing, new transmissions happen only on the pace timer;
+        # recovery retransmissions (timeout path) reset snd_nxt and the
+        # pacer picks them up.
+        if self._pace_event is None and not self.done:
+            self._pace_next()
+        if self._rto_event is None and self.snd_una < self.flow.npkts:
+            self._arm_rto()
+
+    def _pace_next(self) -> None:
+        self._pace_event = None
+        if self.done:
+            return
+        flow = self.flow
+        if self.snd_nxt < flow.npkts:
+            self._transmit(self.snd_nxt, is_retx=self.snd_nxt < self._hwm())
+            self.snd_nxt += 1
+            gap_ns = int(MSS * 8 * SEC / max(self.rc_bps, self.min_rate_bps))
+            self._pace_event = self.sim.schedule(max(gap_ns, 1), self._pace_next)
+        if self._rto_event is None and self.snd_una < flow.npkts:
+            self._arm_rto()
+
+    def _hwm(self) -> int:
+        # highest segment sent before (for retransmission bookkeeping)
+        return getattr(self, "_dcqcn_hwm", 0)
+
+    def _transmit(self, seq: int, is_retx: bool = False) -> None:
+        super()._transmit(seq, is_retx)
+        if seq >= self._hwm():
+            self._dcqcn_hwm = seq + 1
+
+    # -- DCQCN control laws -------------------------------------------------
+
+    def _on_ecn_feedback(self, ece: bool, newly_acked: int) -> None:
+        if not ece:
+            return
+        self._marked_since_alpha_timer = True
+        if self._cut_since_rate_timer:
+            return  # at most one cut per rate-timer period
+        self._cut_since_rate_timer = True
+        self.rt_bps = self.rc_bps
+        self.rc_bps = max(
+            self.rc_bps * (1.0 - self.alpha / 2.0), self.min_rate_bps
+        )
+        self.alpha = (1.0 - self.g) * self.alpha + self.g
+        self._fr_count = 0
+
+    def _alpha_timer(self) -> None:
+        if self.done:
+            return
+        if not self._marked_since_alpha_timer:
+            self.alpha = (1.0 - self.g) * self.alpha
+        self._marked_since_alpha_timer = False
+        self.sim.schedule(self.alpha_timer_ns, self._alpha_timer)
+
+    def _rate_timer(self) -> None:
+        if self.done:
+            return
+        if not self._cut_since_rate_timer:
+            if self._fr_count < self.fr_stages:
+                self._fr_count += 1  # fast recovery toward the target
+            else:
+                self.rt_bps = min(
+                    self.rt_bps + self.r_ai_bps, float(self.line_rate_bps)
+                )
+            self.rc_bps = min(
+                (self.rt_bps + self.rc_bps) / 2.0, float(self.line_rate_bps)
+            )
+        self._cut_since_rate_timer = False
+        self.sim.schedule(self.rate_timer_ns, self._rate_timer)
+
+    def _grow_cwnd(self, newly_acked: int) -> None:
+        pass  # rate-controlled: the window never throttles
+
+    def _complete(self) -> None:
+        if self._pace_event is not None:
+            self._pace_event.cancel()
+            self._pace_event = None
+        super()._complete()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<DcqcnSender flow={self.flow.id} rc={self.rc_bps / 1e9:.2f}Gbps "
+            f"alpha={self.alpha:.2f}>"
+        )

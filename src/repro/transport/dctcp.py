@@ -1,0 +1,57 @@
+"""DCTCP (Alizadeh et al., SIGCOMM 2010).
+
+The sender maintains ``alpha``, an EWMA of the fraction of ACKs carrying
+ECN-Echo per window of data (gain ``g = 1/16``), and on congestion cuts
+``cwnd <- cwnd x (1 - alpha/2)`` — a gentle shave when marking is sparse,
+a Reno-like halving when every packet is marked.  The cut fires at most
+once per window, mirroring the CWR handshake of real stacks.
+
+The receiver side needs no DCTCP-specific code here because our
+:class:`~repro.transport.receiver.Receiver` already echoes CE state on
+every ACK (the accurate per-packet echo DCTCP's state machine exists to
+approximate under delayed ACKs).
+"""
+
+from __future__ import annotations
+
+from repro.transport.base import SenderBase
+
+
+class DctcpSender(SenderBase):
+    """DCTCP congestion control over the shared reliable core."""
+
+    ecn_capable = True
+
+    #: EWMA gain for the marking-fraction estimate (the paper's g = 1/16)
+    g = 1.0 / 16.0
+
+    def __init__(self, *args, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        # Start conservative (alpha = 1): an early mark halves, as DCTCP
+        # recommends for safe slow-start exit.
+        self.alpha = 1.0
+        self._acked_in_window = 0
+        self._marked_in_window = 0
+        self._window_end = 0  # alpha update boundary (segment index)
+
+    def _on_ecn_feedback(self, ece: bool, newly_acked: int) -> None:
+        # Count ACK arrivals; dupacks (newly_acked == 0) still count one
+        # segment's worth of feedback.
+        weight = newly_acked if newly_acked > 0 else 1
+        self._acked_in_window += weight
+        if ece:
+            self._marked_in_window += weight
+            if self._window_cut_allowed():
+                self.cwnd = max(self.cwnd * (1.0 - self.alpha / 2.0), 1.0)
+                self.ssthresh = max(self.cwnd, 2.0)
+                self._register_window_cut()
+        if self.snd_una >= self._window_end:
+            self._update_alpha()
+            self._window_end = self.snd_nxt
+
+    def _update_alpha(self) -> None:
+        if self._acked_in_window > 0:
+            frac = self._marked_in_window / self._acked_in_window
+            self.alpha = (1.0 - self.g) * self.alpha + self.g * frac
+        self._acked_in_window = 0
+        self._marked_in_window = 0

@@ -1,0 +1,67 @@
+"""The flow (application message) abstraction.
+
+A flow is one request/response message of a known size between two hosts —
+the unit whose completion time (FCT) the paper reports.  The ``service``
+field selects the switch queue (via DSCP); under PIAS the per-packet DSCP
+additionally depends on how many bytes the flow has sent.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.units import MSS
+
+
+class Flow:
+    """One message to be transported."""
+
+    __slots__ = (
+        "id",
+        "src",
+        "dst",
+        "size_bytes",
+        "start_ns",
+        "service",
+        "dscp",
+        "npkts",
+        "fct_ns",
+        "completed",
+    )
+
+    def __init__(
+        self,
+        flow_id: int,
+        src: int,
+        dst: int,
+        size_bytes: int,
+        start_ns: int = 0,
+        service: int = 0,
+        dscp: Optional[int] = None,
+    ) -> None:
+        if size_bytes <= 0:
+            raise ValueError(f"flow size must be positive, got {size_bytes}")
+        if src == dst:
+            raise ValueError(f"flow {flow_id}: src == dst == {src}")
+        self.id = flow_id
+        self.src = src
+        self.dst = dst
+        self.size_bytes = size_bytes
+        self.start_ns = start_ns
+        self.service = service
+        self.dscp = dscp if dscp is not None else service
+        self.npkts = -(-size_bytes // MSS)  # ceil
+        self.fct_ns: Optional[int] = None
+        self.completed = False
+
+    def payload_of(self, seq: int) -> int:
+        """Payload bytes of segment ``seq`` (the last one may be short)."""
+        if seq == self.npkts - 1:
+            return self.size_bytes - (self.npkts - 1) * MSS
+        return MSS
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<Flow {self.id} {self.src}->{self.dst} {self.size_bytes}B "
+            f"svc={self.service}{' done' if self.completed else ''}>"
+        )

@@ -1,0 +1,75 @@
+"""The receiving half: cumulative ACKs, reassembly, per-packet ECN echo.
+
+One ACK per data packet (no delayed ACKs — like the ns-2 models the paper
+simulates with), carrying:
+
+* the cumulative acknowledgement (next expected segment),
+* ECE = the CE bit of the data packet that triggered this ACK (accurate
+  per-packet echo, which DCTCP needs and ECN* tolerates), and
+* the echoed sender timestamp for RTT estimation.
+
+The receiver records flow completion — the application-level FCT the whole
+evaluation is scored on — the moment the last in-order byte arrives.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, Set
+
+from repro.net.host import Host
+from repro.net.packet import Packet, make_ack
+from repro.sim.engine import Simulator
+from repro.transport.flow import Flow
+
+
+class Receiver:
+    """Reassembling receiver for one flow."""
+
+    __slots__ = (
+        "sim", "host", "flow", "rcv_nxt", "_ooo", "on_complete", "on_bytes"
+    )
+
+    def __init__(
+        self,
+        sim: Simulator,
+        host: Host,
+        flow: Flow,
+        on_complete: Optional[Callable[[Flow], None]] = None,
+        on_bytes: Optional[Callable[[Flow, int, int], None]] = None,
+    ) -> None:
+        self.sim = sim
+        self.host = host
+        self.flow = flow
+        self.rcv_nxt = 0
+        self._ooo: Set[int] = set()
+        self.on_complete = on_complete
+        #: optional delivery hook ``(flow, payload_bytes, now)`` — fired for
+        #: every arriving data packet; goodput trackers plug in here.
+        self.on_bytes = on_bytes
+        host.register_receiver(flow.id, self)
+
+    def on_data(self, pkt: Packet) -> None:
+        if pkt.seq >= self.flow.npkts:
+            return  # malformed/out-of-range segment: never acknowledge
+        if self.on_bytes is not None:
+            self.on_bytes(self.flow, pkt.payload, self.sim.now)
+        seq = pkt.seq
+        if seq == self.rcv_nxt:
+            self.rcv_nxt += 1
+            ooo = self._ooo
+            while self.rcv_nxt in ooo:
+                ooo.remove(self.rcv_nxt)
+                self.rcv_nxt += 1
+        elif seq > self.rcv_nxt:
+            self._ooo.add(seq)
+        # (seq < rcv_nxt: spurious retransmission; still ACK it)
+        ack = make_ack(pkt, self.rcv_nxt, ece=pkt.ce, now=self.sim.now)
+        self.host.send(ack)
+        if self.rcv_nxt >= self.flow.npkts and not self.flow.completed:
+            self.flow.completed = True
+            self.flow.fct_ns = self.sim.now - self.flow.start_ns
+            if self.on_complete is not None:
+                self.on_complete(self.flow)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Receiver flow={self.flow.id} rcv_nxt={self.rcv_nxt}>"

@@ -1,0 +1,34 @@
+"""ECN* and plain Reno senders.
+
+ECN* (Wu et al., CoNEXT 2012 — "regular ECN-enabled TCP") treats an ECN
+mark like a loss signal minus the retransmission: cut the window in half,
+at most once per window of data.  It has no smoothing, which is why the
+paper calls it the most challenging transport for an AQM (lambda = 1 in
+Equation 1; premature marks directly halve throughput).
+
+:class:`RenoSender` is the non-ECN control: marks never reach it (it does
+not set ECT), so only drops regulate it.  Used in tests and as a no-ECN
+baseline.
+"""
+
+from __future__ import annotations
+
+from repro.transport.base import SenderBase
+
+
+class EcnStarSender(SenderBase):
+    """Regular ECN TCP: halve cwnd on ECE, once per window."""
+
+    ecn_capable = True
+
+    def _on_ecn_feedback(self, ece: bool, newly_acked: int) -> None:
+        if ece and self._window_cut_allowed():
+            self.cwnd = max(self.cwnd / 2.0, 1.0)
+            self.ssthresh = max(self.cwnd, 2.0)
+            self._register_window_cut()
+
+
+class RenoSender(SenderBase):
+    """NewReno without ECN — the baseline the base class already implements."""
+
+    ecn_capable = False

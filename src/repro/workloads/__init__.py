@@ -1,0 +1,23 @@
+"""Traffic workloads: empirical flow-size CDFs and Poisson flow generation."""
+
+from repro.workloads.cdf import EmpiricalCdf
+from repro.workloads.distributions import (
+    WEB_SEARCH,
+    DATA_MINING,
+    HADOOP,
+    CACHE,
+    ALL_WORKLOADS,
+    workload_by_name,
+)
+from repro.workloads.generator import FlowGenerator
+
+__all__ = [
+    "EmpiricalCdf",
+    "WEB_SEARCH",
+    "DATA_MINING",
+    "HADOOP",
+    "CACHE",
+    "ALL_WORKLOADS",
+    "workload_by_name",
+    "FlowGenerator",
+]

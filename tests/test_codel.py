@@ -1,0 +1,142 @@
+"""CoDel in marking mode: the windowed-minimum control law."""
+
+from repro.aqm.codel import CoDel
+from repro.net.queue import PacketQueue
+from repro.units import MSEC, MTU, USEC
+from tests.helpers import data_pkt
+
+
+def _dequeue(aqm, queue, sojourn_ns, now):
+    pkt = data_pkt()
+    pkt.enq_ts = now - sojourn_ns
+    return aqm.on_dequeue(None, queue, pkt, now)
+
+
+def _busy_queue():
+    q = PacketQueue(0)
+    q.bytes = 10 * MTU  # keep the queue "above one MTU" so CoDel stays armed
+    return q
+
+
+class TestFirstMarkTiming:
+    def test_no_mark_before_interval_elapses(self):
+        """Sojourn above target must persist a full interval before the
+        first mark — CoDel's slow reaction to bursts (§4.3)."""
+        aqm = CoDel(target_ns=50 * USEC, interval_ns=1 * MSEC)
+        q = _busy_queue()
+        now = 0
+        marks = []
+        for _ in range(50):  # 50 departures, 20us apart = 1 ms total
+            now += 20_000
+            marks.append(_dequeue(aqm, q, 200 * USEC, now))
+        assert not any(marks[:-1]), "marked before a full interval elapsed"
+
+    def test_marks_after_interval(self):
+        aqm = CoDel(target_ns=50 * USEC, interval_ns=1 * MSEC)
+        q = _busy_queue()
+        now = 0
+        marked = False
+        for _ in range(120):
+            now += 20_000
+            marked = marked or _dequeue(aqm, q, 200 * USEC, now)
+        assert marked
+
+    def test_tcn_would_mark_immediately_where_codel_waits(self):
+        """The head-to-head of §4.3: same packet, same sojourn — TCN marks
+        on the spot, CoDel does not."""
+        from repro.core.tcn import Tcn
+
+        codel = CoDel(target_ns=50 * USEC, interval_ns=1 * MSEC)
+        tcn = Tcn(100 * USEC)
+        q = _busy_queue()
+        pkt = data_pkt()
+        pkt.enq_ts = 0
+        now = 300 * USEC  # sojourn 300us, way above both thresholds
+        assert tcn.on_dequeue(None, q, pkt, now) is True
+        assert codel.on_dequeue(None, q, pkt, now) is False
+
+
+class TestWindowReset:
+    def test_one_good_packet_resets_window(self):
+        aqm = CoDel(target_ns=50 * USEC, interval_ns=1 * MSEC)
+        q = _busy_queue()
+        now = 0
+        for _ in range(40):
+            now += 20_000
+            _dequeue(aqm, q, 200 * USEC, now)
+        # a single below-target departure resets first_above_time
+        now += 20_000
+        _dequeue(aqm, q, 10 * USEC, now)
+        # above target again: must wait a fresh interval
+        marks = []
+        for _ in range(45):
+            now += 20_000
+            marks.append(_dequeue(aqm, q, 200 * USEC, now))
+        assert not any(marks[:-1])
+
+    def test_small_backlog_disarms(self):
+        """Below one MTU of backlog CoDel never marks (standing-queue rule)."""
+        aqm = CoDel(target_ns=50 * USEC, interval_ns=1 * MSEC)
+        q = PacketQueue(0)
+        q.bytes = MTU  # not above one MTU
+        now = 0
+        marks = []
+        for _ in range(200):
+            now += 20_000
+            marks.append(_dequeue(aqm, q, 500 * USEC, now))
+        assert not any(marks)
+
+
+class TestControlLaw:
+    def _drive_persistent(self, aqm, q, duration_ns, step_ns=20_000, sojourn=200 * USEC):
+        now, marks = 0, 0
+        while now < duration_ns:
+            now += step_ns
+            if _dequeue(aqm, q, sojourn, now):
+                marks += 1
+        return marks
+
+    def test_marking_rate_ramps_with_sqrt_count(self):
+        """Persistent delay: the second half of a long episode marks more
+        often than the first (interval/sqrt(count) shrinks)."""
+        aqm = CoDel(target_ns=50 * USEC, interval_ns=1 * MSEC)
+        q = _busy_queue()
+        first = self._drive_persistent(aqm, q, 20 * MSEC)
+        second = self._drive_persistent(aqm, q, 20 * MSEC)
+        assert second > first >= 1
+
+    def test_exits_marking_when_delay_clears(self):
+        aqm = CoDel(target_ns=50 * USEC, interval_ns=1 * MSEC)
+        q = _busy_queue()
+        self._drive_persistent(aqm, q, 10 * MSEC)
+        st = aqm._state_for(q)
+        assert st.marking is True
+        _dequeue(aqm, q, 10 * USEC, 11 * MSEC)
+        assert st.marking is False
+
+    def test_per_queue_state_isolated(self):
+        aqm = CoDel(target_ns=50 * USEC, interval_ns=1 * MSEC)
+        q_bad, q_good = _busy_queue(), _busy_queue()
+        now = 0
+        for _ in range(120):
+            now += 20_000
+            _dequeue(aqm, q_bad, 300 * USEC, now)
+        # q_good has had no history: it must still wait a full interval
+        assert _dequeue(aqm, q_good, 300 * USEC, now + 1) is False
+
+    def test_reentry_resumes_high_count(self):
+        """Linux heuristic: re-entering marking shortly after exit resumes
+        near the previous rate instead of starting from count=1."""
+        aqm = CoDel(target_ns=50 * USEC, interval_ns=1 * MSEC)
+        q = _busy_queue()
+        self._drive_persistent(aqm, q, 30 * MSEC)
+        st = aqm._state_for(q)
+        high_count = st.count
+        assert high_count > 2
+        # brief good period
+        _dequeue(aqm, q, 10 * USEC, 31 * MSEC)
+        # persistent delay returns quickly
+        now = 31 * MSEC
+        while not _dequeue(aqm, q, 300 * USEC, now):
+            now += 20_000
+        assert aqm._state_for(q).count >= max(2, high_count // 2)

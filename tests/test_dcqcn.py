@@ -1,0 +1,150 @@
+"""DCQCN: rate-paced sending and the alpha/rate control laws."""
+
+import pytest
+
+from repro.core.tcn import ProbabilisticTcn, Tcn
+from repro.net.host import Host
+from repro.net.nic import make_nic
+from repro.net.packet import Packet, PacketKind
+from repro.sched.fifo import FifoScheduler
+from repro.sim.engine import Simulator
+from repro.topo.star import StarTopology
+from repro.transport.dcqcn import DcqcnSender
+from repro.transport.flow import Flow
+from repro.transport.receiver import Receiver
+from repro.units import GBPS, KB, MB, MSEC, SEC, USEC
+
+
+def _bare_sender(rate=10 * GBPS):
+    sim = Simulator()
+    nic = make_nic(sim, rate, link=None)
+    host = Host(sim, 0, nic)
+    flow = Flow(1, 0, 1, 100 * MB)
+    sender = DcqcnSender(sim, host, flow, line_rate_bps=rate)
+    return sim, sender
+
+
+def _ack(sender, ack, ece):
+    pkt = Packet(1, 1, 0, PacketKind.ACK, seq=ack)
+    pkt.ece = ece
+    sender.on_ack(pkt)
+
+
+class TestControlLaws:
+    def test_starts_at_line_rate(self):
+        sim, s = _bare_sender()
+        assert s.rc_bps == 10 * GBPS
+
+    def test_mark_cuts_rate_by_alpha_half(self):
+        sim, s = _bare_sender()
+        s.start()
+        _ack(s, 1, ece=True)
+        # alpha starts at 1: first cut halves
+        assert s.rc_bps == pytest.approx(5 * GBPS)
+        assert s.rt_bps == pytest.approx(10 * GBPS)
+
+    def test_one_cut_per_rate_period(self):
+        sim, s = _bare_sender()
+        s.start()
+        _ack(s, 1, ece=True)
+        _ack(s, 2, ece=True)
+        assert s.rc_bps == pytest.approx(5 * GBPS)
+
+    def test_alpha_rises_on_marks(self):
+        sim, s = _bare_sender()
+        s.start()
+        before = s.alpha
+        _ack(s, 1, ece=True)
+        assert s.alpha >= before  # (1-g) x 1 + g = 1 at the ceiling
+
+    def test_alpha_decays_without_marks(self):
+        sim, s = _bare_sender()
+        s.start()
+        sim.run(until=2 * MSEC)  # many alpha-timer periods, no marks
+        assert s.alpha < 0.2
+
+    def test_fast_recovery_climbs_back(self):
+        sim, s = _bare_sender()
+        s.start()
+        _ack(s, 1, ece=True)
+        cut_rate = s.rc_bps
+        sim.run(until=3 * MSEC)  # ~10 rate-timer periods, no further marks
+        assert s.rc_bps > cut_rate
+        assert s.rc_bps <= 10 * GBPS
+
+    def test_rate_floor(self):
+        sim, s = _bare_sender()
+        s.start()
+        s.rc_bps = s.min_rate_bps
+        s._cut_since_rate_timer = False
+        _ack(s, 1, ece=True)
+        assert s.rc_bps >= s.min_rate_bps
+
+
+class TestPacing:
+    def test_paced_transfer_completes(self):
+        sim = Simulator()
+        topo = StarTopology(
+            sim, 3, 10 * GBPS,
+            sched_factory=FifoScheduler,
+            aqm_factory=lambda: Tcn(100 * USEC),
+            buffer_bytes=300 * KB,
+            link_delay_ns=20_000,
+        )
+        flow = Flow(1, 1, 0, 5 * MB)
+        Receiver(sim, topo.hosts[0], flow)
+        s = DcqcnSender(sim, topo.hosts[1], flow, line_rate_bps=10 * GBPS)
+        sim.schedule(0, s.start)
+        sim.run(until=5 * SEC)
+        assert flow.completed
+
+    def test_two_dcqcn_flows_share_under_probabilistic_tcn(self):
+        """The paper's future-work pairing: DCQCN + probabilistic TCN —
+        both flows finish and neither starves."""
+        import random
+
+        sim = Simulator()
+        topo = StarTopology(
+            sim, 3, 10 * GBPS,
+            sched_factory=FifoScheduler,
+            aqm_factory=lambda: ProbabilisticTcn(
+                50 * USEC, 200 * USEC, pmax=0.8, rng=random.Random(3)
+            ),
+            buffer_bytes=600 * KB,
+            link_delay_ns=20_000,
+        )
+        flows = [Flow(i + 1, i + 1, 0, 30 * MB) for i in range(2)]
+        for f in flows:
+            Receiver(sim, topo.hosts[0], f)
+            s = DcqcnSender(
+                sim, topo.hosts[f.src], f, line_rate_bps=10 * GBPS
+            )
+            sim.schedule(0, s.start)
+        sim.run(until=5 * SEC)
+        assert all(f.completed for f in flows)
+        fcts = [f.fct_ns for f in flows]
+        assert max(fcts) < 3 * min(fcts)  # rough fairness
+
+    def test_rate_cut_slows_pacing(self):
+        sim = Simulator()
+        topo = StarTopology(
+            sim, 3, 10 * GBPS,
+            sched_factory=FifoScheduler,
+            aqm_factory=lambda: Tcn(50 * USEC),
+            buffer_bytes=2 * MB,
+            link_delay_ns=20_000,
+        )
+        # 8 competing senders force marks; the flow must end below line rate
+        flows = [Flow(i + 1, 1 + i % 2, 0, 10 * MB) for i in range(4)]
+        senders = []
+        for f in flows:
+            Receiver(sim, topo.hosts[0], f)
+            s = DcqcnSender(sim, topo.hosts[f.src], f, line_rate_bps=10 * GBPS)
+            senders.append(s)
+            sim.schedule(0, s.start)
+        sim.run(until=2 * SEC)
+        assert all(f.completed for f in flows)
+        # contention produced marks and every sender reacted to them
+        assert all(s.stats.ecn_acks > 0 for s in senders)
+        # 4 x 10 MB through one 10G port takes at least the fluid-limit time
+        assert max(f.fct_ns for f in flows) >= 30 * MSEC

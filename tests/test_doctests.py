@@ -1,0 +1,27 @@
+"""Run the doctests embedded in the library's docstrings."""
+
+import doctest
+
+import pytest
+
+import repro.core.thresholds
+import repro.sim.engine
+import repro.sim.rng
+import repro.units
+import repro.workloads.cdf
+import repro.workloads.distributions
+
+MODULES = [
+    repro.units,
+    repro.core.thresholds,
+    repro.sim.engine,
+    repro.sim.rng,
+    repro.workloads.cdf,
+    repro.workloads.distributions,
+]
+
+
+@pytest.mark.parametrize("module", MODULES, ids=lambda m: m.__name__)
+def test_doctests(module):
+    result = doctest.testmod(module)
+    assert result.failed == 0

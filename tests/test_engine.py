@@ -1,0 +1,167 @@
+"""The discrete-event engine: ordering, cancellation, run bounds."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.sim.engine import Simulator
+
+
+class TestScheduling:
+    def test_runs_in_time_order(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(30, lambda: fired.append(30))
+        sim.schedule(10, lambda: fired.append(10))
+        sim.schedule(20, lambda: fired.append(20))
+        sim.run()
+        assert fired == [10, 20, 30]
+
+    def test_ties_fire_in_scheduling_order(self):
+        sim = Simulator()
+        fired = []
+        for i in range(10):
+            sim.schedule(100, lambda i=i: fired.append(i))
+        sim.run()
+        assert fired == list(range(10))
+
+    def test_clock_advances_to_event_time(self):
+        sim = Simulator()
+        seen = []
+        sim.schedule(42, lambda: seen.append(sim.now))
+        sim.run()
+        assert seen == [42]
+        assert sim.now == 42
+
+    def test_schedule_during_run(self):
+        sim = Simulator()
+        fired = []
+
+        def first():
+            fired.append("first")
+            sim.schedule(5, lambda: fired.append("second"))
+
+        sim.schedule(10, first)
+        sim.run()
+        assert fired == ["first", "second"]
+        assert sim.now == 15
+
+    def test_negative_delay_rejected(self):
+        sim = Simulator()
+        with pytest.raises(ValueError):
+            sim.schedule(-1, lambda: None)
+
+    def test_schedule_at_past_rejected(self):
+        sim = Simulator()
+        sim.schedule(10, lambda: None)
+        sim.run()
+        with pytest.raises(ValueError):
+            sim.schedule_at(5, lambda: None)
+
+    def test_schedule_at_now_is_allowed(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(0, lambda: fired.append(sim.now))
+        sim.run()
+        assert fired == [0]
+
+
+class TestCancellation:
+    def test_cancelled_event_does_not_fire(self):
+        sim = Simulator()
+        fired = []
+        ev = sim.schedule(10, lambda: fired.append(1))
+        ev.cancel()
+        sim.run()
+        assert fired == []
+
+    def test_cancel_is_idempotent(self):
+        sim = Simulator()
+        ev = sim.schedule(10, lambda: None)
+        ev.cancel()
+        ev.cancel()
+        assert sim.run() == 0
+
+    def test_cancel_one_of_many(self):
+        sim = Simulator()
+        fired = []
+        evs = [sim.schedule(i, lambda i=i: fired.append(i)) for i in range(5)]
+        evs[2].cancel()
+        sim.run()
+        assert fired == [0, 1, 3, 4]
+
+
+class TestRunBounds:
+    def test_until_stops_before_later_events(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(10, lambda: fired.append(10))
+        sim.schedule(100, lambda: fired.append(100))
+        sim.run(until=50)
+        assert fired == [10]
+        assert sim.now == 50  # clock advanced to the bound
+
+    def test_until_resumes(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(10, lambda: fired.append(10))
+        sim.schedule(100, lambda: fired.append(100))
+        sim.run(until=50)
+        sim.run()
+        assert fired == [10, 100]
+
+    def test_event_exactly_at_until_fires(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(50, lambda: fired.append(50))
+        sim.run(until=50)
+        assert fired == [50]
+
+    def test_max_events(self):
+        sim = Simulator()
+        fired = []
+        for i in range(10):
+            sim.schedule(i, lambda i=i: fired.append(i))
+        executed = sim.run(max_events=3)
+        assert executed == 3
+        assert fired == [0, 1, 2]
+
+    def test_returns_executed_count(self):
+        sim = Simulator()
+        for i in range(7):
+            sim.schedule(i, lambda: None)
+        assert sim.run() == 7
+
+
+class TestStepAndPeek:
+    def test_step_executes_one(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(1, lambda: fired.append(1))
+        sim.schedule(2, lambda: fired.append(2))
+        assert sim.step() is True
+        assert fired == [1]
+
+    def test_step_on_empty_returns_false(self):
+        assert Simulator().step() is False
+
+    def test_peek_skips_cancelled(self):
+        sim = Simulator()
+        ev = sim.schedule(5, lambda: None)
+        sim.schedule(9, lambda: None)
+        ev.cancel()
+        assert sim.peek_time() == 9
+
+    def test_peek_empty_is_none(self):
+        assert Simulator().peek_time() is None
+
+
+@given(st.lists(st.integers(min_value=0, max_value=10_000), min_size=1, max_size=200))
+def test_property_events_fire_in_nondecreasing_time(delays):
+    """Whatever the scheduling order, execution times never go backwards."""
+    sim = Simulator()
+    times = []
+    for d in delays:
+        sim.schedule(d, lambda: times.append(sim.now))
+    sim.run()
+    assert times == sorted(times)
+    assert len(times) == len(delays)

@@ -1,0 +1,36 @@
+"""Smoke tests: the example scripts run and print sane output."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def _run(script: str, *args: str) -> str:
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / script), *args],
+        capture_output=True,
+        text=True,
+        timeout=600,
+    )
+    assert result.returncode == 0, result.stderr
+    return result.stdout
+
+
+def test_quickstart():
+    out = _run("quickstart.py", "25")
+    assert "tcn" in out and "red_std" in out
+    assert "avg(small)" in out
+
+
+def test_service_isolation():
+    out = _run("service_isolation.py", "--flows", "25", "--loads", "0.5")
+    assert "DWRR" in out
+    assert "mqecn" in out
+
+
+def test_traffic_prioritization():
+    out = _run("traffic_prioritization.py", "--flows", "25", "--load", "0.5")
+    assert "SP_DWRR" in out
+    assert "small-flow timeouts" in out

@@ -1,0 +1,148 @@
+"""Harness: config validation, scheme registries, end-to-end runs."""
+
+import pytest
+
+from repro.harness.config import ExperimentConfig
+from repro.harness.report import format_fct_rows, format_table
+from repro.harness.runner import run_experiment
+from repro.harness.schemes import SCHEDULERS, SCHEMES, TRANSPORTS
+from repro.units import GBPS, KB, USEC
+
+
+class TestConfig:
+    def test_default_thresholds_follow_equations(self):
+        cfg = ExperimentConfig(link_rate_bps=GBPS, base_rtt_ns=250 * USEC)
+        assert cfg.effective_red_threshold_bytes == 31_250
+        assert cfg.effective_tcn_threshold_ns == 250 * USEC
+
+    def test_pinned_thresholds_win(self):
+        cfg = ExperimentConfig(
+            red_threshold_bytes=30 * KB, tcn_threshold_ns=100 * USEC
+        )
+        assert cfg.effective_red_threshold_bytes == 30 * KB
+        assert cfg.effective_tcn_threshold_ns == 100 * USEC
+
+    def test_codel_defaults_scale_with_rtt(self):
+        cfg = ExperimentConfig(base_rtt_ns=250 * USEC)
+        assert cfg.effective_codel_target_ns == 50 * USEC
+        assert cfg.effective_codel_interval_ns == 1000 * USEC
+
+    def test_lambda_scales_both(self):
+        cfg = ExperimentConfig(
+            link_rate_bps=GBPS, base_rtt_ns=200 * USEC, lam=0.5
+        )
+        assert cfg.effective_red_threshold_bytes == 12_500
+        assert cfg.effective_tcn_threshold_ns == 100 * USEC
+
+    def test_validation_load(self):
+        with pytest.raises(ValueError):
+            ExperimentConfig(load=0.0).validate()
+
+    def test_validation_topology(self):
+        with pytest.raises(ValueError):
+            ExperimentConfig(topology="ring").validate()
+
+    def test_validation_sp_needs_high_queue(self):
+        with pytest.raises(ValueError):
+            ExperimentConfig(scheduler="sp_dwrr", n_queues=2, n_high=2).validate()
+
+    def test_validation_pias_needs_sp(self):
+        with pytest.raises(ValueError):
+            ExperimentConfig(scheduler="dwrr", pias=True).validate()
+
+
+class TestRegistries:
+    def test_all_paper_schemes_present(self):
+        for name in ("tcn", "codel", "mqecn", "red_std", "dequeue_red",
+                     "perport_red", "ideal"):
+            assert name in SCHEMES
+
+    def test_all_paper_schedulers_present(self):
+        for name in ("dwrr", "wfq", "sp_dwrr", "sp_wfq", "sp", "wrr", "pifo"):
+            assert name in SCHEDULERS
+
+    def test_transports(self):
+        assert set(TRANSPORTS) == {"dctcp", "ecnstar", "reno"}
+
+    def test_factories_produce_fresh_instances(self):
+        cfg = ExperimentConfig()
+        a, b = SCHEMES["tcn"](cfg), SCHEMES["tcn"](cfg)
+        assert a is not b
+        s1, s2 = SCHEDULERS["dwrr"](cfg), SCHEDULERS["dwrr"](cfg)
+        assert s1.queues[0] is not s2.queues[0]
+
+
+class TestRunExperiment:
+    def test_small_star_run(self):
+        cfg = ExperimentConfig(
+            scheme="tcn", scheduler="dwrr", workload="websearch",
+            load=0.5, n_flows=20, n_queues=4, seed=1,
+        )
+        res = run_experiment(cfg)
+        assert res.all_completed
+        assert res.summary.n_flows == 20
+        assert res.summary.avg_all_ns > 0
+        assert res.marks >= 0 and res.drops >= 0
+
+    def test_deterministic(self):
+        cfg = dict(scheme="tcn", scheduler="dwrr", workload="cache",
+                   load=0.5, n_flows=15, seed=3)
+        a = run_experiment(ExperimentConfig(**cfg))
+        b = run_experiment(ExperimentConfig(**cfg))
+        assert a.summary.avg_all_ns == b.summary.avg_all_ns
+        assert a.marks == b.marks and a.drops == b.drops
+
+    def test_seed_changes_traffic(self):
+        base = dict(scheme="tcn", scheduler="dwrr", workload="cache",
+                    load=0.5, n_flows=15)
+        a = run_experiment(ExperimentConfig(seed=1, **base))
+        b = run_experiment(ExperimentConfig(seed=2, **base))
+        assert a.summary.avg_all_ns != b.summary.avg_all_ns
+
+    def test_pias_run(self):
+        cfg = ExperimentConfig(
+            scheme="tcn", scheduler="sp_wfq", n_queues=5, n_high=1,
+            pias=True, workload="cache", load=0.5, n_flows=20, seed=2,
+        )
+        res = run_experiment(cfg)
+        assert res.all_completed
+
+    def test_leafspine_mixed_run(self):
+        cfg = ExperimentConfig(
+            scheme="tcn", scheduler="sp_dwrr", topology="leafspine",
+            n_leaf=2, n_spine=2, hosts_per_leaf=2, link_rate_bps=10 * GBPS,
+            buffer_bytes=300 * KB, base_rtt_ns=85_200, n_queues=4,
+            pias=True, transport="dctcp", workload="mixed", load=0.4,
+            n_flows=30, min_rto_ns=5_000_000, seed=4,
+        )
+        res = run_experiment(cfg)
+        assert res.all_completed
+
+    def test_identical_workload_across_schemes(self):
+        """Same seed, different scheme: the flow list must be identical
+        (size, src, dst, start), or scheme comparisons are invalid."""
+        base = dict(scheduler="dwrr", workload="websearch", load=0.6,
+                    n_flows=25, seed=9)
+        a = run_experiment(ExperimentConfig(scheme="tcn", **base))
+        b = run_experiment(ExperimentConfig(scheme="red_std", **base))
+        key = lambda fl: [(f.id, f.src, f.dst, f.size_bytes) for f in fl]
+        assert key(a.flows) == key(b.flows)
+
+
+class TestReport:
+    def test_format_table_alignment(self):
+        out = format_table(["a", "bbb"], [["1", "2"], ["333", "4"]])
+        lines = out.splitlines()
+        assert len(lines) == 4
+        assert lines[0].startswith("a")
+
+    def test_format_fct_rows_normalizes_to_tcn(self):
+        base = dict(scheduler="dwrr", workload="cache", load=0.5,
+                    n_flows=15, seed=3)
+        results = {
+            "tcn": run_experiment(ExperimentConfig(scheme="tcn", **base)),
+            "red_std": run_experiment(ExperimentConfig(scheme="red_std", **base)),
+        }
+        out = format_fct_rows(results)
+        assert "tcn" in out and "red_std" in out
+        assert "1.00" in out  # tcn normalized to itself

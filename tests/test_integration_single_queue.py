@@ -1,0 +1,130 @@
+"""End-to-end single-queue behaviour: ECN keeps queues short and links full,
+and enqueue/dequeue/sojourn marking relate as §4.3 describes (Fig. 3)."""
+
+import pytest
+
+from repro.aqm.dequeue_red import DequeueRed
+from repro.aqm.perqueue import PerQueueRed
+from repro.core.tcn import Tcn
+from repro.metrics.timeseries import OccupancySampler
+from repro.sched.fifo import FifoScheduler
+from repro.sim.engine import Simulator
+from repro.topo.star import StarTopology
+from repro.transport.flow import Flow
+from repro.transport.receiver import Receiver
+from repro.transport.tcp import EcnStarSender
+from repro.units import GBPS, KB, MB, MSEC, SEC, USEC
+
+
+def _run(aqm_factory, buffer_bytes=4 * MB, n_flows=8, until=20 * MSEC):
+    """The Fig. 3 setup: 9 hosts at 10G, 8 synchronized ECN* flows."""
+    sim = Simulator()
+    topo = StarTopology(
+        sim, 9, 10 * GBPS,
+        sched_factory=FifoScheduler,
+        aqm_factory=aqm_factory,
+        buffer_bytes=buffer_bytes,
+        link_delay_ns=25_000,  # base RTT 100 us
+    )
+    sampler = OccupancySampler(topo.port_to(0))
+    flows = []
+    for i in range(n_flows):
+        f = Flow(i + 1, i + 1, 0, 500 * MB)
+        flows.append(f)
+        Receiver(sim, topo.hosts[0], f)
+        s = EcnStarSender(sim, topo.hosts[i + 1], f, init_cwnd=10)
+        sim.schedule(0, s.start)
+    sim.run(until=until)
+    port = topo.port_to(0)
+    return sampler, port, flows
+
+
+class TestFig3BufferOccupancy:
+    """Peak ~3xBDP for enqueue marking and TCN, ~2xBDP for dequeue marking;
+    all settle into the 0..K band (K = 125 KB at 10G x 100 us)."""
+
+    BDP = 125 * KB
+
+    def test_enqueue_red_peak_three_bdp(self):
+        sampler, _, _ = _run(lambda: PerQueueRed(125 * KB))
+        assert 2.5 * self.BDP <= sampler.peak_bytes <= 3.5 * self.BDP
+
+    def test_tcn_peak_three_bdp(self):
+        sampler, _, _ = _run(lambda: Tcn(100 * USEC))
+        assert 2.5 * self.BDP <= sampler.peak_bytes <= 3.5 * self.BDP
+
+    def test_dequeue_red_peak_two_bdp(self):
+        sampler, _, _ = _run(lambda: DequeueRed(125 * KB))
+        assert 1.6 * self.BDP <= sampler.peak_bytes <= 2.4 * self.BDP
+
+    def test_dequeue_red_peaks_below_enqueue_red(self):
+        deq, _, _ = _run(lambda: DequeueRed(125 * KB))
+        enq, _, _ = _run(lambda: PerQueueRed(125 * KB))
+        assert deq.peak_bytes < enq.peak_bytes
+
+    @pytest.mark.parametrize(
+        "aqm",
+        [lambda: PerQueueRed(125 * KB),
+         lambda: DequeueRed(125 * KB),
+         lambda: Tcn(100 * USEC)],
+    )
+    def test_steady_state_bounded(self, aqm):
+        """After slow start all schemes oscillate around/below K."""
+        sampler, _, _ = _run(aqm)
+        steady_max = sampler.max_in_window(10 * MSEC, 20 * MSEC)
+        assert steady_max <= 1.3 * self.BDP
+
+    def test_tcn_matches_enqueue_red_at_fixed_capacity(self):
+        """§4.3: with a single queue the capacity is fixed, so a 100 us
+        sojourn threshold and a 125 KB length threshold mark equivalently
+        — mean occupancies must be close."""
+        tcn, _, _ = _run(lambda: Tcn(100 * USEC))
+        red, _, _ = _run(lambda: PerQueueRed(125 * KB))
+        m1 = tcn.mean_in_window(10 * MSEC, 20 * MSEC)
+        m2 = red.mean_in_window(10 * MSEC, 20 * MSEC)
+        assert m1 == pytest.approx(m2, rel=0.25)
+
+
+class TestThroughputAndLatency:
+    def test_ecn_keeps_link_utilized(self):
+        """The ECN promise: short queues without losing throughput."""
+        _, port, _ = _run(lambda: Tcn(100 * USEC), until=50 * MSEC)
+        # bytes transmitted over 50 ms at 10 Gbps
+        expected = 10 * GBPS * 50 * MSEC // (8 * SEC)
+        assert port.stats.tx_bytes >= 0.92 * expected
+
+    def test_no_drops_with_big_buffer(self):
+        _, port, _ = _run(lambda: Tcn(100 * USEC))
+        assert port.stats.dropped_pkts == 0
+
+    def test_marks_actually_happen(self):
+        _, port, _ = _run(lambda: Tcn(100 * USEC))
+        assert port.stats.marked_pkts > 0
+
+    def test_fair_share_among_synchronized_flows(self):
+        """Eight identical ECN* flows through one TCN queue converge to
+        similar long-run shares (no flow starves under marking)."""
+        from repro.metrics.timeseries import GoodputTracker
+        from repro.transport.receiver import Receiver as _R
+
+        sim = Simulator()
+        topo = StarTopology(
+            sim, 9, 10 * GBPS,
+            sched_factory=FifoScheduler,
+            aqm_factory=lambda: Tcn(100 * USEC),
+            buffer_bytes=4 * MB,
+            link_delay_ns=25_000,
+        )
+        tracker = GoodputTracker()
+        for i in range(8):
+            f = Flow(i + 1, i + 1, 0, 500 * MB)
+            _R(sim, topo.hosts[0], f,
+               on_bytes=lambda fl, b, t: tracker.record(fl.id, b, t))
+            s = EcnStarSender(sim, topo.hosts[i + 1], f, init_cwnd=10)
+            sim.schedule(0, s.start)
+        sim.run(until=100 * MSEC)
+        rates = [
+            tracker.goodput_bps(i + 1, 20 * MSEC, 100 * MSEC) for i in range(8)
+        ]
+        assert min(rates) > 0.4 * max(rates)
+        assert sum(rates) > 0.85 * 10 * GBPS

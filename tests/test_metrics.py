@@ -1,0 +1,152 @@
+"""FCT statistics and time-series metrics."""
+
+import pytest
+
+from repro.metrics.fct import (
+    FctCollector,
+    SMALL_MAX_BYTES,
+    LARGE_MIN_BYTES,
+    normalized,
+    percentile,
+)
+from repro.metrics.timeseries import GoodputTracker, OccupancySampler
+from repro.sim.engine import Simulator
+from repro.transport.flow import Flow
+from repro.units import GBPS, KB, MB, SEC
+from tests.helpers import data_pkt, make_port
+
+
+def _flow(fid, size, fct):
+    f = Flow(fid, 0, 1, size)
+    f.fct_ns = fct
+    f.completed = True
+    return f
+
+
+class TestPercentile:
+    def test_nearest_rank(self):
+        values = list(range(1, 101))
+        assert percentile(values, 99) == 99
+        assert percentile(values, 50) == 50
+        assert percentile(values, 100) == 100
+        assert percentile(values, 0) == 1
+
+    def test_single_value(self):
+        assert percentile([7], 99) == 7
+
+    def test_unsorted_input(self):
+        assert percentile([3, 1, 2], 100) == 3
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            percentile([], 50)
+        with pytest.raises(ValueError):
+            percentile([1], 101)
+
+
+class TestFctCollector:
+    def test_bins_match_paper(self):
+        assert SMALL_MAX_BYTES == 100 * KB
+        assert LARGE_MIN_BYTES == 10 * MB
+
+    def test_summary_bins(self):
+        c = FctCollector()
+        c.on_complete(_flow(1, 50 * KB, 1000))      # small
+        c.on_complete(_flow(2, 100 * KB, 3000))     # small (inclusive)
+        c.on_complete(_flow(3, 1 * MB, 9000))       # medium
+        c.on_complete(_flow(4, 20 * MB, 100_000))   # large
+        s = c.summarize()
+        assert s.n_small == 2 and s.n_medium == 1 and s.n_large == 1
+        assert s.avg_small_ns == 2000
+        assert s.avg_large_ns == 100_000
+        assert s.avg_all_ns == pytest.approx((1000 + 3000 + 9000 + 100_000) / 4)
+
+    def test_p99_small(self):
+        c = FctCollector()
+        for i in range(100):
+            c.on_complete(_flow(i, 10 * KB, (i + 1) * 100))
+        assert c.summarize().p99_small_ns == 9900
+
+    def test_empty_bins_are_none(self):
+        c = FctCollector()
+        c.on_complete(_flow(1, 1 * MB, 5000))
+        s = c.summarize()
+        assert s.avg_small_ns is None and s.avg_large_ns is None
+        assert s.avg_medium_ns == 5000
+
+    def test_empty_collector_raises(self):
+        with pytest.raises(ValueError):
+            FctCollector().summarize()
+
+    def test_normalized(self):
+        c1, c2 = FctCollector(), FctCollector()
+        c1.on_complete(_flow(1, 10 * KB, 1000))
+        c2.on_complete(_flow(1, 10 * KB, 2500))
+        summaries = {"tcn": c1.summarize(), "red": c2.summarize()}
+        norm = normalized(summaries, "tcn", "avg_small_ns")
+        assert norm["tcn"] == 1.0
+        assert norm["red"] == 2.5
+
+
+class TestGoodputTracker:
+    def test_windowed_rate(self):
+        t = GoodputTracker()
+        # 1250 bytes every 10 us for 1 ms = 1 Gbps
+        for i in range(100):
+            t.record(0, 1250, (i + 1) * 10_000)
+        assert t.goodput_bps(0, 0, 1_000_000) == pytest.approx(1 * GBPS)
+
+    def test_window_excludes_outside(self):
+        t = GoodputTracker()
+        t.record(0, 1000, 100)
+        t.record(0, 1000, 2000)
+        assert t.goodput_bps(0, 500, 2500) == pytest.approx(1000 * 8 * SEC / 2000)
+
+    def test_series_bins(self):
+        t = GoodputTracker()
+        t.record(1, 1000, 500)
+        t.record(1, 3000, 1500)
+        series = t.series_bps(1, bin_ns=1000, t_end_ns=2000)
+        assert len(series) == 2
+        assert series[0][1] == pytest.approx(1000 * 8 * SEC / 1000)
+        assert series[1][1] == pytest.approx(3000 * 8 * SEC / 1000)
+
+    def test_keys_and_totals(self):
+        t = GoodputTracker()
+        t.record(3, 500, 10)
+        t.record(3, 700, 20)
+        assert t.total_bytes(3) == 1200
+        assert t.keys() == [3]
+
+    def test_empty_window_rejected(self):
+        with pytest.raises(ValueError):
+            GoodputTracker().goodput_bps(0, 10, 10)
+
+
+class TestOccupancySampler:
+    def test_event_driven_trace(self):
+        sim = Simulator()
+        port = make_port(sim)
+        sampler = OccupancySampler(port)
+        for i in range(3):
+            port.receive(data_pkt(seq=i))
+        sim.run()
+        assert sampler.peak_bytes == 2 * 1500  # one always in flight
+        assert sampler.samples[-1][1] == 0
+
+    def test_periodic_sampling(self):
+        sim = Simulator()
+        port = make_port(sim)
+        sampler = OccupancySampler(port, event_driven=False)
+        sampler.start_periodic(sim, period_ns=1000)
+        sim.run(until=5000)
+        assert len(sampler.samples) == 5
+
+    def test_windows(self):
+        sim = Simulator()
+        port = make_port(sim)
+        sampler = OccupancySampler(port, event_driven=False)
+        sampler.samples = [(0, 10), (100, 30), (200, 20)]
+        assert sampler.max_in_window(50, 250) == 30
+        assert sampler.mean_in_window(50, 250) == 25.0
+        assert sampler.max_in_window(300, 400) == 0

@@ -1,0 +1,68 @@
+"""Packet framing, ECN bits, and ACK construction."""
+
+from repro.net.packet import Packet, PacketKind, make_ack, make_data
+from repro.units import ACK_SIZE, HEADER, MSS, PROBE_SIZE
+
+
+class TestWireSizes:
+    def test_data_wire_size_includes_header(self):
+        pkt = make_data(1, 0, 1, seq=0, payload=MSS, ect=True, dscp=0, ts=0)
+        assert pkt.wire_size == MSS + HEADER == 1500
+
+    def test_short_payload(self):
+        pkt = make_data(1, 0, 1, seq=0, payload=1, ect=True, dscp=0, ts=0)
+        assert pkt.wire_size == 1 + HEADER
+
+    def test_ack_wire_size(self):
+        data = make_data(1, 0, 1, seq=0, payload=MSS, ect=True, dscp=3, ts=5)
+        ack = make_ack(data, ack=1, ece=False, now=10)
+        assert ack.wire_size == ACK_SIZE
+
+    def test_probe_wire_size(self):
+        probe = Packet(9, 0, 1, PacketKind.PROBE)
+        assert probe.wire_size == PROBE_SIZE
+
+
+class TestEcnBits:
+    def test_fresh_packet_is_unmarked(self):
+        pkt = make_data(1, 0, 1, seq=0, payload=MSS, ect=True, dscp=0, ts=0)
+        assert pkt.ect and not pkt.ce and not pkt.ece
+
+    def test_non_ect(self):
+        pkt = make_data(1, 0, 1, seq=0, payload=MSS, ect=False, dscp=0, ts=0)
+        assert not pkt.ect
+
+
+class TestMakeAck:
+    def _data(self, ce: bool):
+        data = make_data(7, 2, 5, seq=4, payload=MSS, ect=True, dscp=3, ts=111)
+        data.ce = ce
+        return data
+
+    def test_reverses_direction(self):
+        ack = make_ack(self._data(False), ack=5, ece=False, now=200)
+        assert (ack.src, ack.dst) == (5, 2)
+        assert ack.kind == PacketKind.ACK
+
+    def test_carries_cumulative_ack(self):
+        ack = make_ack(self._data(False), ack=5, ece=False, now=200)
+        assert ack.seq == 5
+
+    def test_echoes_ce_as_ece(self):
+        data = self._data(True)
+        ack = make_ack(data, ack=5, ece=data.ce, now=200)
+        assert ack.ece is True
+
+    def test_same_service_class(self):
+        ack = make_ack(self._data(False), ack=5, ece=False, now=200)
+        assert ack.dscp == 3
+
+    def test_echoes_timestamp(self):
+        ack = make_ack(self._data(False), ack=5, ece=False, now=200)
+        assert ack.ts_echo == 111
+        assert ack.ts == 200
+
+    def test_acks_are_not_ect_by_default(self):
+        """Pure ACKs must never be CE-marked (they are not ECT)."""
+        ack = make_ack(self._data(False), ack=5, ece=False, now=200)
+        assert ack.ect is False

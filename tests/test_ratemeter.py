@@ -1,0 +1,113 @@
+"""Algorithm 1: the PIE departure-rate meter, including its documented
+failure modes (the heart of §3.3)."""
+
+import pytest
+
+from repro.aqm.ratemeter import RateMeter
+from repro.units import GBPS, KB, SEC, USEC
+
+
+def _feed_constant_rate(meter, rate_bps, qlen, n_pkts, pkt=1500):
+    """Departures of ``pkt``-byte packets back-to-back at ``rate_bps``."""
+    gap = pkt * 8 * SEC // rate_bps
+    now = 0
+    for _ in range(n_pkts):
+        now += gap
+        meter.on_departure(qlen, pkt, now)
+    return now
+
+
+class TestMeasurementCycle:
+    def test_no_cycle_below_threshold(self):
+        meter = RateMeter(10 * KB)
+        _feed_constant_rate(meter, GBPS, qlen=5 * KB, n_pkts=100)
+        assert meter.avg_rate is None
+        assert meter.sample_count == 0
+
+    def test_measures_line_rate_with_algorithm1_bias(self):
+        """A 10 KB cycle of 1500 B packets counts 7 packets over 6 gaps:
+        Algorithm 1's opening departure contributes bytes but no time, so
+        the sample reads 7/6 of the true rate (see the module docstring)."""
+        meter = RateMeter(10 * KB)
+        _feed_constant_rate(meter, GBPS, qlen=50 * KB, n_pkts=100)
+        assert meter.avg_rate == pytest.approx(GBPS * 7 / 6, rel=0.02)
+
+    def test_bias_shrinks_with_larger_thresh(self):
+        meter = RateMeter(60 * KB)
+        _feed_constant_rate(meter, GBPS, qlen=100 * KB, n_pkts=200)
+        assert meter.avg_rate == pytest.approx(GBPS * 41 / 40, rel=0.02)
+
+    def test_cycle_needs_more_than_thresh_bytes(self):
+        """A sample closes only when dq_count exceeds dq_thresh."""
+        meter = RateMeter(10 * KB)
+        # 7 packets = 10.5 KB > 10 KB -> exactly one sample
+        _feed_constant_rate(meter, GBPS, qlen=50 * KB, n_pkts=7)
+        assert meter.sample_count == 1
+
+    def test_ewma_weight(self):
+        meter = RateMeter(10 * KB, avg_weight=0.5)
+        meter._absorb(10 * GBPS, 0)
+        meter._absorb(2 * GBPS, 1)
+        assert meter.avg_rate == pytest.approx(6 * GBPS)
+
+    def test_rate_or_default_before_samples(self):
+        meter = RateMeter(10 * KB)
+        assert meter.rate_or(123.0) == 123.0
+
+    def test_sample_recording(self):
+        meter = RateMeter(10 * KB, record_samples=True)
+        _feed_constant_rate(meter, GBPS, qlen=50 * KB, n_pkts=50)
+        assert len(meter.samples) == meter.sample_count
+        t, raw, smoothed = meter.samples[0]
+        assert raw > 0 and smoothed > 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RateMeter(0)
+        with pytest.raises(ValueError):
+            RateMeter(10 * KB, avg_weight=1.0)
+
+
+class TestFailureModes:
+    """The §3.3 tradeoff, in miniature."""
+
+    def test_small_thresh_oscillates_under_round_robin(self):
+        """dq_thresh below the scheduler's service burst: cycles that fall
+        within one burst read the line rate; cycles spanning the gap read a
+        lower rate.  Samples must disagree wildly."""
+        meter = RateMeter(10 * KB, record_samples=True)
+        now = 0
+        gap = 1500 * 8 * SEC // (10 * GBPS)  # 1.2us per pkt at 10G
+        for _burst in range(200):
+            # serve a 18 KB burst (12 pkts) at line rate...
+            for _ in range(12):
+                now += gap
+                meter.on_departure(40 * KB, 1500, now)
+            # ...then wait while the other queue is served
+            now += 12 * gap
+        raw = [s for _, s, _ in meter.samples]
+        assert max(raw) / min(raw) > 1.5, "expected oscillating samples"
+        # fast samples read the (bias-inflated) line rate; slow samples read
+        # well under half of it — the 3.7-10 Gbps spread of Fig. 2b
+        assert max(raw) == pytest.approx(10 * GBPS * 7 / 6, rel=0.05)
+        assert min(raw) < 5 * GBPS
+
+    def test_large_thresh_samples_slowly(self):
+        """dq_thresh of 40 KB at ~5 Gbps: one sample per ~65 us, so a 2 ms
+        window yields only ~30 samples (the paper's count is 29)."""
+        meter = RateMeter(40 * KB, record_samples=True)
+        _feed_constant_rate(meter, 5 * GBPS, qlen=100 * KB, n_pkts=850)
+        in_2ms = [t for t, _, _ in meter.samples if t <= 2_000 * USEC]
+        assert 25 <= len(in_2ms) <= 35
+
+    def test_convergence_takes_many_samples(self):
+        """With weight 0.875 on the old average, ~30 samples are needed to
+        move from 10 Gbps to within 5% of 5 Gbps — the slow convergence of
+        Fig. 2(a)."""
+        meter = RateMeter(40 * KB, avg_weight=0.875)
+        meter._absorb(10 * GBPS, 0)
+        n = 0
+        while abs(meter.avg_rate - 5 * GBPS) / (5 * GBPS) > 0.05:
+            meter._absorb(5 * GBPS, n)
+            n += 1
+        assert 15 <= n <= 40

@@ -1,0 +1,74 @@
+"""RedMarker: the full RED gateway and its simplified datacenter config."""
+
+import random
+
+import pytest
+
+from repro.aqm.red import RedMarker
+
+
+class TestSimplifiedConfig:
+    """kmin == kmax, instantaneous occupancy — what datacenters run (§2.1)."""
+
+    def test_marks_strictly_above_k(self):
+        red = RedMarker(30_000)
+        assert red.decide(30_001) is True
+        assert red.decide(30_000) is False
+        assert red.decide(0) is False
+
+    def test_instantaneous_no_memory(self):
+        red = RedMarker(30_000)
+        red.decide(90_000)
+        assert red.decide(1_000) is False  # no EWMA ghost
+
+
+class TestFullRed:
+    def test_gentle_region_probability_scales(self):
+        red = RedMarker(10_000, 50_000, pmax=0.5, rng=random.Random(3))
+        low = sum(red.decide(15_000) for _ in range(2000)) / 2000
+        red2 = RedMarker(10_000, 50_000, pmax=0.5, rng=random.Random(3))
+        high = sum(red2.decide(45_000) for _ in range(2000)) / 2000
+        assert high > low
+
+    def test_above_kmax_always(self):
+        red = RedMarker(10_000, 50_000, pmax=0.1)
+        assert all(red.decide(60_000) for _ in range(20))
+
+    def test_below_kmin_never(self):
+        red = RedMarker(10_000, 50_000, pmax=1.0)
+        assert not any(red.decide(9_999) for _ in range(20))
+
+    def test_ewma_smooths(self):
+        """With a small weight, one spike does not push avg over kmin."""
+        red = RedMarker(10_000, 50_000, pmax=1.0, ewma_weight=0.01)
+        for _ in range(10):
+            red.decide(5_000)
+        assert red.decide(200_000) is False  # avg still ~7k
+        assert red.avg < 10_000
+
+    def test_ewma_converges(self):
+        red = RedMarker(10_000, 10_000, ewma_weight=0.1)
+        for _ in range(400):
+            red.decide(40_000)
+        assert red.avg == pytest.approx(40_000, rel=0.01)
+
+    def test_count_correction_spreads_marks(self):
+        """The 1/(1 - count*p) correction makes inter-mark gaps roughly
+        uniform; over many packets the empirical rate is close to base."""
+        red = RedMarker(0, 100_000, pmax=1.0, rng=random.Random(5))
+        marks = sum(red.decide(50_000) for _ in range(4000))
+        assert 0.3 <= marks / 4000 <= 0.7
+
+
+class TestValidation:
+    def test_rejects_inverted_thresholds(self):
+        with pytest.raises(ValueError):
+            RedMarker(50_000, 10_000)
+
+    def test_rejects_bad_pmax(self):
+        with pytest.raises(ValueError):
+            RedMarker(10_000, pmax=0.0)
+
+    def test_rejects_bad_weight(self):
+        with pytest.raises(ValueError):
+            RedMarker(10_000, ewma_weight=0.0)

@@ -1,0 +1,125 @@
+"""TCN: instantaneous sojourn-time marking (the paper's §4) and the
+probabilistic RED-like extension (§4.3)."""
+
+import random
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.tcn import ProbabilisticTcn, Tcn
+from repro.core.thresholds import standard_tcn_threshold_ns
+from repro.net.queue import PacketQueue
+from repro.units import USEC
+from tests.helpers import data_pkt
+
+
+def _sojourn_mark(aqm, sojourn_ns, enq_ts=1_000_000):
+    pkt = data_pkt()
+    pkt.enq_ts = enq_ts
+    queue = PacketQueue(0)
+    return aqm.on_dequeue(None, queue, pkt, enq_ts + sojourn_ns)
+
+
+class TestTcn:
+    def test_marks_above_threshold(self):
+        assert _sojourn_mark(Tcn(100 * USEC), 101 * USEC) is True
+
+    def test_no_mark_below_threshold(self):
+        assert _sojourn_mark(Tcn(100 * USEC), 99 * USEC) is False
+
+    def test_exact_threshold_not_marked(self):
+        """The rule is strictly 'larger than the threshold'."""
+        assert _sojourn_mark(Tcn(100 * USEC), 100 * USEC) is False
+
+    def test_never_marks_at_enqueue(self):
+        tcn = Tcn(100 * USEC)
+        assert tcn.on_enqueue(None, PacketQueue(0), data_pkt(), 0) is False
+
+    def test_statelessness(self):
+        """Decisions are independent: identical sojourns give identical
+        answers regardless of history (no per-queue state)."""
+        tcn = Tcn(100 * USEC)
+        for _ in range(5):
+            assert _sojourn_mark(tcn, 150 * USEC) is True
+            assert _sojourn_mark(tcn, 50 * USEC) is False
+
+    def test_threshold_independent_of_queue(self):
+        """The same instance serves any number of queues — the property
+        that makes TCN scheduler-agnostic."""
+        tcn = Tcn(100 * USEC)
+        for qidx in range(8):
+            pkt = data_pkt(dscp=qidx)
+            pkt.enq_ts = 0
+            assert tcn.on_dequeue(None, PacketQueue(qidx), pkt, 150 * USEC)
+
+    def test_rejects_bad_threshold(self):
+        with pytest.raises(ValueError):
+            Tcn(0)
+
+    def test_standard_threshold_equation3(self):
+        assert standard_tcn_threshold_ns(100 * USEC, 1.0) == 100 * USEC
+        assert standard_tcn_threshold_ns(250 * USEC, 0.5) == 125 * USEC
+
+
+class TestProbabilisticTcn:
+    def test_below_tmin_never_marks(self):
+        aqm = ProbabilisticTcn(50 * USEC, 150 * USEC, pmax=1.0)
+        assert all(
+            not _sojourn_mark(aqm, 40 * USEC) for _ in range(50)
+        )
+
+    def test_above_tmax_always_marks(self):
+        aqm = ProbabilisticTcn(50 * USEC, 150 * USEC, pmax=0.1)
+        assert all(_sojourn_mark(aqm, 200 * USEC) for _ in range(50))
+
+    def test_midpoint_marks_at_about_half_pmax(self):
+        aqm = ProbabilisticTcn(
+            0, 200 * USEC, pmax=1.0, rng=random.Random(1)
+        )
+        marks = sum(_sojourn_mark(aqm, 100 * USEC) for _ in range(4000))
+        assert 0.45 <= marks / 4000 <= 0.55
+
+    def test_pmax_caps_probability(self):
+        aqm = ProbabilisticTcn(
+            0, 200 * USEC, pmax=0.2, rng=random.Random(1)
+        )
+        marks = sum(_sojourn_mark(aqm, 199 * USEC) for _ in range(4000))
+        assert marks / 4000 <= 0.25
+
+    def test_degenerate_equal_thresholds(self):
+        aqm = ProbabilisticTcn(100 * USEC, 100 * USEC)
+        assert _sojourn_mark(aqm, 101 * USEC) is True
+        assert _sojourn_mark(aqm, 99 * USEC) is False
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ProbabilisticTcn(200, 100)
+        with pytest.raises(ValueError):
+            ProbabilisticTcn(0, 100, pmax=0.0)
+        with pytest.raises(ValueError):
+            ProbabilisticTcn(0, 100, pmax=1.5)
+
+
+@given(
+    threshold=st.integers(min_value=1, max_value=1_000_000),
+    sojourn=st.integers(min_value=0, max_value=2_000_000),
+)
+def test_property_tcn_is_a_pure_threshold_function(threshold, sojourn):
+    """mark <=> sojourn > threshold, for any values."""
+    assert _sojourn_mark(Tcn(threshold), sojourn) == (sojourn > threshold)
+
+
+@given(
+    tmin=st.integers(min_value=0, max_value=500_000),
+    span=st.integers(min_value=0, max_value=500_000),
+    sojourn=st.integers(min_value=0, max_value=2_000_000),
+)
+def test_property_probabilistic_tcn_brackets(tmin, span, sojourn):
+    """Deterministic outside [tmin, tmax]; inside, outcome is a coin flip
+    and both outcomes are legal."""
+    aqm = ProbabilisticTcn(tmin, tmin + span, pmax=1.0, rng=random.Random(0))
+    result = _sojourn_mark(aqm, sojourn)
+    if sojourn <= tmin:
+        assert result is False
+    elif sojourn >= tmin + span:
+        assert result is True

@@ -1,0 +1,176 @@
+"""ECN responses: DCTCP's proportional cut vs ECN*'s halving; receiver echo."""
+
+import pytest
+
+from repro.net.host import Host
+from repro.net.nic import make_nic
+from repro.net.packet import Packet, PacketKind, make_ack, make_data
+from repro.sim.engine import Simulator
+from repro.transport.dctcp import DctcpSender
+from repro.transport.flow import Flow
+from repro.transport.receiver import Receiver
+from repro.transport.tcp import EcnStarSender
+from repro.units import GBPS, MB, MSS
+
+
+def _sender(cls, size=10 * MB, cwnd=100.0):
+    sim = Simulator()
+    nic = make_nic(sim, GBPS, link=None)  # transmissions vanish; we drive ACKs
+    host = Host(sim, 0, nic)
+    flow = Flow(1, 0, 1, size)
+    sender = cls(sim, host, flow, init_cwnd=cwnd)
+    sender.start()
+    return sim, sender
+
+
+def _ack(sender, ack, ece):
+    pkt = Packet(1, 1, 0, PacketKind.ACK, seq=ack)
+    pkt.ece = ece
+    pkt.ts = 0
+    sender.on_ack(pkt)
+
+
+class TestEcnStar:
+    def test_halves_on_ece(self):
+        sim, s = _sender(EcnStarSender, cwnd=100)
+        _ack(s, 1, ece=True)
+        # the halving applies first; normal per-ACK growth then adds 1/cwnd
+        assert s.cwnd == pytest.approx(50.0, rel=0.01)
+
+    def test_at_most_one_cut_per_window(self):
+        sim, s = _sender(EcnStarSender, cwnd=100)
+        _ack(s, 1, ece=True)
+        _ack(s, 2, ece=True)  # same window: no further cut
+        assert s.cwnd == pytest.approx(50.0, rel=0.01)
+
+    def test_second_window_cuts_again(self):
+        sim, s = _sender(EcnStarSender, cwnd=100)
+        _ack(s, 1, ece=True)
+        boundary = s.snd_nxt
+        # the cut window covers segments < boundary; the ACK of segment
+        # `boundary` itself (ack boundary+1) belongs to the next window
+        for a in range(2, boundary + 2):
+            _ack(s, a, ece=(a == boundary + 1))
+        assert s.cwnd < 50.0
+
+    def test_floor_at_one_packet(self):
+        sim, s = _sender(EcnStarSender, cwnd=1)
+        _ack(s, 1, ece=True)
+        assert s.cwnd >= 1.0
+
+    def test_clean_acks_grow_window(self):
+        sim, s = _sender(EcnStarSender, cwnd=10)
+        for a in range(1, 6):
+            _ack(s, a, ece=False)
+        assert s.cwnd > 10
+
+
+class TestDctcp:
+    def test_alpha_starts_conservative(self):
+        sim, s = _sender(DctcpSender)
+        assert s.alpha == 1.0
+
+    def test_first_mark_cuts_half_with_alpha_one(self):
+        sim, s = _sender(DctcpSender, cwnd=100)
+        _ack(s, 1, ece=True)
+        assert s.cwnd == pytest.approx(50.0, rel=0.01)
+
+    def test_alpha_decays_without_marks(self):
+        sim, s = _sender(DctcpSender, cwnd=16)
+        s.ssthresh = 16  # congestion avoidance: windows stay ~16 segments
+        # many clean windows: alpha decays by (1-g) at each boundary
+        for a in range(1, 2000):
+            _ack(s, a, ece=False)
+        assert s.alpha < 0.1
+
+    def test_alpha_tracks_marking_fraction(self):
+        """Steady ~50% marking: alpha converges near 0.5, and cuts shrink
+        cwnd by ~alpha/2 — the gentle DCTCP response."""
+        sim, s = _sender(DctcpSender, cwnd=32)
+        for a in range(1, 1500):
+            _ack(s, a, ece=(a % 2 == 0))
+        assert 0.3 <= s.alpha <= 0.7
+
+    def test_fully_marked_behaves_like_halving(self):
+        sim, s = _sender(DctcpSender, cwnd=64)
+        for a in range(1, 800):
+            _ack(s, a, ece=True)
+        assert s.alpha > 0.9
+
+    def test_cut_proportional_to_alpha(self):
+        sim, s = _sender(DctcpSender, cwnd=100)
+        s.alpha = 0.2
+        _ack(s, 1, ece=True)
+        assert s.cwnd == pytest.approx(90.0, rel=0.01)
+
+    def test_one_cut_per_window(self):
+        sim, s = _sender(DctcpSender, cwnd=100)
+        s.alpha = 0.5
+        _ack(s, 1, ece=True)
+        after_first = s.cwnd
+        _ack(s, 2, ece=True)
+        assert s.cwnd == pytest.approx(after_first, rel=0.001)
+
+
+class TestReceiverEcho:
+    def _rx(self):
+        sim = Simulator()
+        sent = []
+
+        class _CaptureNic:
+            def receive(self, pkt):
+                sent.append(pkt)
+
+        host = Host(sim, 1, _CaptureNic())
+        flow = Flow(1, 0, 1, 10 * MSS)
+        rx = Receiver(sim, host, flow)
+        return sim, rx, sent
+
+    def _data(self, seq, ce):
+        pkt = make_data(1, 0, 1, seq=seq, payload=MSS, ect=True, dscp=0, ts=0)
+        pkt.ce = ce
+        return pkt
+
+    def test_echoes_ce_per_packet(self):
+        sim, rx, sent = self._rx()
+        rx.on_data(self._data(0, ce=True))
+        rx.on_data(self._data(1, ce=False))
+        rx.on_data(self._data(2, ce=True))
+        assert [a.ece for a in sent] == [True, False, True]
+
+    def test_cumulative_ack_advances(self):
+        sim, rx, sent = self._rx()
+        for seq in range(3):
+            rx.on_data(self._data(seq, ce=False))
+        assert [a.seq for a in sent] == [1, 2, 3]
+
+    def test_out_of_order_buffered(self):
+        sim, rx, sent = self._rx()
+        rx.on_data(self._data(0, ce=False))
+        rx.on_data(self._data(2, ce=False))  # gap at 1
+        assert sent[-1].seq == 1  # dupack
+        rx.on_data(self._data(1, ce=False))
+        assert sent[-1].seq == 3  # cumulative jump over the buffered 2
+
+    def test_duplicate_data_still_acked(self):
+        sim, rx, sent = self._rx()
+        rx.on_data(self._data(0, ce=False))
+        rx.on_data(self._data(0, ce=False))
+        assert len(sent) == 2
+        assert sent[-1].seq == 1
+
+    def test_completion_recorded_once(self):
+        sim = Simulator()
+        done = []
+
+        class _Nic:
+            def receive(self, pkt):
+                pass
+
+        host = Host(sim, 1, _Nic())
+        flow = Flow(1, 0, 1, 3 * MSS)
+        rx = Receiver(sim, host, flow, on_complete=done.append)
+        for seq in (0, 1, 2, 2):
+            rx.on_data(self._data(seq, ce=False))
+        assert done == [flow]
+        assert flow.completed and flow.fct_ns is not None

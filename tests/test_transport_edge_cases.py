@@ -1,0 +1,107 @@
+"""Sender/receiver edge cases beyond the mainline paths."""
+
+import pytest
+
+from repro.net.host import Host
+from repro.net.nic import make_nic
+from repro.net.packet import Packet, PacketKind
+from repro.sim.engine import Simulator
+from repro.transport.dctcp import DctcpSender
+from repro.transport.flow import Flow
+from repro.units import GBPS, KB, MB, MSS
+
+
+def _sender(size=1 * MB, cwnd=10.0):
+    sim = Simulator()
+    nic = make_nic(sim, GBPS, link=None)
+    host = Host(sim, 0, nic)
+    flow = Flow(1, 0, 1, size)
+    sender = DctcpSender(sim, host, flow, init_cwnd=cwnd)
+    sender.start()
+    return sim, sender
+
+
+def _ack(sender, ack, ece=False):
+    pkt = Packet(1, 1, 0, PacketKind.ACK, seq=ack)
+    pkt.ece = ece
+    sender.on_ack(pkt)
+
+
+class TestAckEdgeCases:
+    def test_stale_ack_below_una_ignored(self):
+        sim, s = _sender()
+        _ack(s, 5)
+        before = (s.cwnd, s.snd_una, s.dupacks)
+        _ack(s, 3)  # stale reordering
+        assert (s.cwnd, s.snd_una, s.dupacks) == before
+
+    def test_acks_after_done_ignored(self):
+        sim, s = _sender(size=2 * MSS)
+        _ack(s, 2)
+        assert s.done
+        _ack(s, 2)  # stray ACK post-completion: no crash, no state change
+        assert s.done
+
+    def test_completion_cancels_rto(self):
+        sim, s = _sender(size=2 * MSS)
+        _ack(s, 2)
+        # no timer left: the simulation drains without firing a timeout
+        sim.run()
+        assert s.stats.timeouts == 0
+
+    def test_cumulative_ack_jumps_multiple_segments(self):
+        sim, s = _sender(cwnd=20)
+        _ack(s, 7)
+        assert s.snd_una == 7
+        # slow start: +7 for 7 newly acked segments
+        assert s.cwnd == pytest.approx(27.0)
+
+    def test_dupacks_below_three_do_not_retransmit(self):
+        sim, s = _sender(cwnd=10)
+        _ack(s, 2)
+        _ack(s, 2)
+        _ack(s, 2)  # 2 dupacks so far
+        assert s.stats.fast_retransmits == 0
+        _ack(s, 2)  # third dupack
+        assert s.stats.fast_retransmits == 1
+
+    def test_no_second_fast_retransmit_in_same_recovery(self):
+        sim, s = _sender(cwnd=10)
+        for _ in range(5):
+            _ack(s, 1)
+        assert s.stats.fast_retransmits == 1
+
+
+class TestFlowEdgeCases:
+    def test_last_segment_payload(self):
+        flow = Flow(1, 0, 1, MSS + 100)
+        assert flow.npkts == 2
+        assert flow.payload_of(0) == MSS
+        assert flow.payload_of(1) == 100
+
+    def test_exact_multiple(self):
+        flow = Flow(1, 0, 1, 3 * MSS)
+        assert flow.npkts == 3
+        assert flow.payload_of(2) == MSS
+
+    def test_one_byte_flow(self):
+        flow = Flow(1, 0, 1, 1)
+        assert flow.npkts == 1
+        assert flow.payload_of(0) == 1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Flow(1, 0, 1, 0)
+        with pytest.raises(ValueError):
+            Flow(1, 2, 2, 100)
+
+
+class TestSwitchEdgeCases:
+    def test_unrouted_destination_raises(self):
+        from repro.net.switch import Switch
+        from tests.helpers import data_pkt
+
+        sim = Simulator()
+        sw = Switch(sim)
+        with pytest.raises(LookupError, match="no route"):
+            sw.receive(data_pkt(dst=42))
