@@ -18,13 +18,43 @@ the assertions allow for.
 from __future__ import annotations
 
 import os
-from typing import Dict, Iterable, List
+from typing import Dict, Iterable, List, Optional, Tuple
 
 from repro.harness.config import ExperimentConfig
 from repro.harness.report import format_fct_rows, format_table
-from repro.harness.runner import ExperimentResult, run_experiment
+from repro.harness.runner import ExperimentResult
+from repro.harness.sweep import ResultCache, SweepOutcome, SweepResult, run_sweep
 
 RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+CACHE_DIR = os.path.join(os.path.dirname(__file__), ".cache")
+
+
+def _bench_cache() -> Optional[ResultCache]:
+    """The shared benchmark result cache (set REPRO_SWEEP_CACHE=0 to
+    disable, e.g. while hacking on the simulator with a dirty tree)."""
+    if os.environ.get("REPRO_SWEEP_CACHE", "1") == "0":
+        return None
+    return ResultCache(CACHE_DIR)
+
+
+def _bench_processes() -> Optional[int]:
+    """Worker count for benchmark sweeps (REPRO_SWEEP_PROCESSES to pin;
+    0 forces serial in-process runs)."""
+    env = os.environ.get("REPRO_SWEEP_PROCESSES")
+    return int(env) if env is not None else None
+
+
+def _checked(outcome: SweepOutcome) -> List[SweepResult]:
+    """Benchmarks must fail loudly on any crashed/timed-out cell."""
+    failures = outcome.errors()
+    if failures:
+        details = "; ".join(
+            f"{r.config.scheme}/seed={r.config.seed}: "
+            f"{r.error.kind}: {r.error.message}"
+            for r in failures
+        )
+        raise RuntimeError(f"sweep failed for {len(failures)} config(s): {details}")
+    return outcome.results
 
 
 def save_results(figure: str, text: str) -> None:
@@ -38,14 +68,37 @@ def save_results(figure: str, text: str) -> None:
 
 def run_schemes(
     schemes: Iterable[str], **cfg_kwargs
-) -> Dict[str, ExperimentResult]:
-    """Run the same configuration under several marking schemes."""
-    results = {}
-    for scheme in schemes:
-        results[scheme] = run_experiment(
-            ExperimentConfig(scheme=scheme, **cfg_kwargs)
-        )
-    return results
+) -> Dict[str, SweepResult]:
+    """Run the same configuration under several marking schemes.
+
+    Routed through the sweep runner: schemes run across worker processes
+    and repeat runs are served from ``benchmarks/.cache``.
+    """
+    schemes = list(schemes)
+    configs = [ExperimentConfig(scheme=s, **cfg_kwargs) for s in schemes]
+    outcome = run_sweep(
+        configs, processes=_bench_processes(), cache=_bench_cache()
+    )
+    return dict(zip(schemes, _checked(outcome)))
+
+
+def _completed_flow_pairs(run) -> List[Tuple[int, int]]:
+    """(size_bytes, fct_ns) of completed flows, from either an
+    ExperimentResult (full flow objects) or a SweepResult (compact)."""
+    stats = getattr(run, "flow_stats", None)
+    if stats is not None:
+        return [(size, fct) for size, fct in stats]
+    return [(f.size_bytes, f.fct_ns) for f in run.flows if f.completed]
+
+
+class _FlowStat:
+    """The slice of Flow the FCT collector reads: size and completion time."""
+
+    __slots__ = ("size_bytes", "fct_ns")
+
+    def __init__(self, size_bytes: int, fct_ns: int) -> None:
+        self.size_bytes = size_bytes
+        self.fct_ns = fct_ns
 
 
 class PooledResult:
@@ -54,18 +107,18 @@ class PooledResult:
     The paper runs 5,000-50,000 flows per point; at benchmark scale we
     instead pool a few seeds (each scheme sees the *same* seeds, so the
     comparison stays pair-matched) to stabilize tail percentiles.
-    Duck-types the slice of :class:`ExperimentResult` the report needs.
+    Duck-types the slice of :class:`ExperimentResult` the report needs,
+    and accepts either :class:`ExperimentResult` or sweep results.
     """
 
-    def __init__(self, runs: List[ExperimentResult]) -> None:
+    def __init__(self, runs: List) -> None:
         from repro.metrics.fct import FctCollector
 
         self.runs = runs
         collector = FctCollector()
         for run in runs:
-            for flow in run.flows:
-                if flow.completed:
-                    collector.on_complete(flow)
+            for size_bytes, fct_ns in _completed_flow_pairs(run):
+                collector.on_complete(_FlowStat(size_bytes, fct_ns))
         self.summary = collector.summarize()
         self.timeouts = sum(r.timeouts for r in runs)
         self.timeouts_small = sum(r.timeouts_small for r in runs)
@@ -78,13 +131,24 @@ class PooledResult:
 def run_schemes_pooled(
     schemes: Iterable[str], seeds: Iterable[int], **cfg_kwargs
 ) -> Dict[str, PooledResult]:
-    """Run each scheme over several seeds and pool the flow statistics."""
+    """Run each scheme over several seeds and pool the flow statistics.
+
+    The full schemes x seeds grid goes through the sweep runner in one
+    call, so every cell runs in parallel and is independently cached.
+    """
+    schemes, seeds = list(schemes), list(seeds)
+    configs = [
+        ExperimentConfig(scheme=scheme, seed=seed, **cfg_kwargs)
+        for scheme in schemes
+        for seed in seeds
+    ]
+    outcome = run_sweep(
+        configs, processes=_bench_processes(), cache=_bench_cache()
+    )
+    flat = _checked(outcome)
     results = {}
-    for scheme in schemes:
-        runs = [
-            run_experiment(ExperimentConfig(scheme=scheme, seed=s, **cfg_kwargs))
-            for s in seeds
-        ]
+    for i, scheme in enumerate(schemes):
+        runs = flat[i * len(seeds):(i + 1) * len(seeds)]
         results[scheme] = PooledResult(runs)
     return results
 

@@ -93,6 +93,12 @@ from repro.harness import (
     ExperimentConfig,
     ExperimentResult,
     run_experiment,
+    run_sweep,
+    ResultCache,
+    SweepError,
+    SweepOutcome,
+    SweepResult,
+    SweepStats,
     SCHEMES,
     SCHEDULERS,
     TRANSPORTS,
@@ -181,6 +187,12 @@ __all__ = [
     "ExperimentConfig",
     "ExperimentResult",
     "run_experiment",
+    "run_sweep",
+    "ResultCache",
+    "SweepError",
+    "SweepOutcome",
+    "SweepResult",
+    "SweepStats",
     "SCHEMES",
     "SCHEDULERS",
     "TRANSPORTS",

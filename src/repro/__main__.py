@@ -1,21 +1,29 @@
-"""Command-line entry point: run one experiment and print its FCT table.
+"""Command-line entry point: run one experiment and print its FCT table,
+or fan a parameter sweep across worker processes.
 
 Examples::
 
     python -m repro --scheme tcn --scheduler dwrr --load 0.7 --flows 200
     python -m repro --scheme red_std --scheduler sp_wfq --pias --queues 5
     python -m repro --topology leafspine --workload mixed --transport ecnstar
+
+    # cartesian sweep (repeat a flag to add grid points), 4 workers,
+    # results cached under benchmarks/.cache/
+    python -m repro sweep --scheme tcn --scheme red_std \\
+        --load 0.6 --load 0.9 --seed 1 --seed 2 --processes 4
 """
 
 from __future__ import annotations
 
 import argparse
+import itertools
 import sys
 
 from repro.harness.config import ExperimentConfig
 from repro.harness.report import format_fct_rows
 from repro.harness.runner import run_experiment
 from repro.harness.schemes import SCHEDULERS, SCHEMES, TRANSPORTS
+from repro.harness.sweep import ResultCache, SweepResult, run_sweep
 from repro.units import KB
 
 
@@ -46,7 +54,132 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def build_sweep_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro sweep",
+        description=(
+            "Run a cartesian grid of experiments across worker processes "
+            "with on-disk result caching.  Repeat --scheme/--scheduler/"
+            "--transport/--workload/--load/--seed to add grid points."
+        ),
+    )
+    parser.add_argument("--scheme", action="append", choices=sorted(SCHEMES))
+    parser.add_argument(
+        "--scheduler", action="append", choices=sorted(SCHEDULERS)
+    )
+    parser.add_argument(
+        "--transport", action="append", choices=sorted(TRANSPORTS)
+    )
+    parser.add_argument("--workload", action="append")
+    parser.add_argument("--load", type=float, action="append")
+    parser.add_argument("--seed", type=int, action="append")
+    parser.add_argument(
+        "--topology", default="star", choices=("star", "leafspine")
+    )
+    parser.add_argument("--flows", type=int, default=200)
+    parser.add_argument("--queues", type=int, default=4)
+    parser.add_argument("--pias", action="store_true")
+    parser.add_argument(
+        "--buffer-kb", type=int, default=96, help="per-port buffer (KB)"
+    )
+    parser.add_argument(
+        "--processes", type=int, default=None,
+        help="worker processes (default: one per CPU; 0 = serial)",
+    )
+    parser.add_argument(
+        "--timeout", type=float, default=None,
+        help="per-config wall-clock budget in seconds",
+    )
+    parser.add_argument(
+        "--cache-dir", default=None,
+        help="result cache directory (default: benchmarks/.cache)",
+    )
+    parser.add_argument(
+        "--no-cache", action="store_true", help="disable the result cache"
+    )
+    return parser
+
+
+def _sweep_label(result: SweepResult) -> str:
+    cfg = result.config
+    return f"{cfg.scheme}/{cfg.scheduler} load={cfg.load:g} seed={cfg.seed}"
+
+
+def sweep_main(argv=None) -> int:
+    args = build_sweep_parser().parse_args(argv)
+    grid = itertools.product(
+        args.scheme or ["tcn"],
+        args.scheduler or ["dwrr"],
+        args.transport or ["dctcp"],
+        args.workload or ["websearch"],
+        args.load or [0.7],
+        args.seed or [1],
+    )
+    configs = [
+        ExperimentConfig(
+            scheme=scheme,
+            scheduler=scheduler,
+            transport=transport,
+            workload=workload,
+            load=load,
+            seed=seed,
+            topology=args.topology,
+            n_flows=args.flows,
+            n_queues=args.queues,
+            pias=args.pias,
+            buffer_bytes=args.buffer_kb * KB,
+        )
+        for scheme, scheduler, transport, workload, load, seed in grid
+    ]
+    try:
+        for cfg in configs:
+            cfg.validate()
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    cache = None if args.no_cache else ResultCache(args.cache_dir)
+
+    def progress(done: int, total: int, result: SweepResult) -> None:
+        if result.error is not None:
+            status = f"ERROR ({result.error.kind})"
+        elif result.from_cache:
+            status = "cached"
+        else:
+            status = (
+                f"ran {result.wall_s:.1f}s wall, "
+                f"{result.sim_ns / 1e9:.2f}s sim, {result.events} events"
+            )
+        print(f"[{done}/{total}] {_sweep_label(result)}: {status}")
+
+    outcome = run_sweep(
+        configs,
+        processes=args.processes,
+        timeout_s=args.timeout,
+        cache=cache,
+        progress=progress,
+    )
+    rows = {_sweep_label(r): r for r in outcome if r.ok}
+    if rows:
+        print()
+        print(format_fct_rows(rows))
+    for result in outcome.errors():
+        print(f"\nFAILED {_sweep_label(result)}: {result.error.message}")
+        if result.error.traceback:
+            print(result.error.traceback)
+    stats = outcome.stats
+    print(
+        f"\n{stats.total} configs in {stats.wall_s:.1f}s: "
+        f"{stats.cache_hits} cache hits, {stats.cache_misses} misses, "
+        f"{stats.errors} errors"
+    )
+    return 0 if outcome.ok else 1
+
+
 def main(argv=None) -> int:
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv and argv[0] == "sweep":
+        return sweep_main(argv[1:])
     args = build_parser().parse_args(argv)
     cfg = ExperimentConfig(
         scheme=args.scheme,

@@ -4,11 +4,27 @@ from repro.harness.config import ExperimentConfig
 from repro.harness.runner import ExperimentResult, run_experiment
 from repro.harness.schemes import SCHEMES, SCHEDULERS, TRANSPORTS
 from repro.harness.report import format_table, format_fct_rows
+from repro.harness.sweep import (
+    ResultCache,
+    SweepError,
+    SweepOutcome,
+    SweepResult,
+    SweepStats,
+    config_key,
+    run_sweep,
+)
 
 __all__ = [
     "ExperimentConfig",
     "ExperimentResult",
     "run_experiment",
+    "run_sweep",
+    "ResultCache",
+    "SweepError",
+    "SweepOutcome",
+    "SweepResult",
+    "SweepStats",
+    "config_key",
     "SCHEMES",
     "SCHEDULERS",
     "TRANSPORTS",

@@ -51,6 +51,7 @@ class ExperimentResult:
     marks: int
     sim_ns: int
     wall_s: float
+    events: int = 0
     flows: List[Flow] = field(repr=False, default_factory=list)
 
     @property
@@ -71,8 +72,14 @@ def run_experiment(cfg: ExperimentConfig) -> ExperimentResult:
 
     wall_start = time.time()
     deadline = _deadline_ns(cfg, flows)
+    events = 0
     while collector.count < len(flows) and sim.now < deadline:
-        sim.run(until=min(sim.now + _RUN_CHUNK_NS, deadline))
+        events += sim.run(until=min(sim.now + _RUN_CHUNK_NS, deadline))
+        if sim.idle:
+            # The event heap is drained: with no timer or transfer pending,
+            # no flow can ever complete, so chunking on toward the deadline
+            # would just busy-spin.  Return with completed < total.
+            break
 
     switches = _switches_of(topo)
     small_cut = 100_000
@@ -90,6 +97,7 @@ def run_experiment(cfg: ExperimentConfig) -> ExperimentResult:
         marks=sum(sw.total_marks() for sw in switches),
         sim_ns=sim.now,
         wall_s=time.time() - wall_start,
+        events=events,
         flows=flows,
     )
 

@@ -97,8 +97,11 @@ class Simulator:
         """Run events in order.
 
         Stops when the heap is empty, when the next event is later than
-        ``until`` (the clock is then advanced to ``until``), or after
-        ``max_events`` events.  Returns the number of events executed.
+        ``until``, or after ``max_events`` events.  The clock is advanced
+        to ``until`` only when no event remains at or before it — if the
+        run stopped on ``max_events`` with earlier events still pending,
+        the clock stays put so the next ``run()``/``step()`` never moves
+        time backwards.  Returns the number of events executed.
         """
         heap = self._heap
         pop = heapq.heappop
@@ -120,7 +123,9 @@ class Simulator:
         finally:
             self._running = False
         if until is not None and self.now < until:
-            self.now = until
+            nxt = self.peek_time()
+            if nxt is None or nxt > until:
+                self.now = until
         return executed
 
     def step(self) -> bool:
@@ -147,5 +152,20 @@ class Simulator:
 
     @property
     def pending(self) -> int:
-        """Number of events still in the heap (including cancelled ones)."""
-        return len(self._heap)
+        """Number of live (non-cancelled) events still scheduled.
+
+        Cancelled events linger in the heap until popped (cancellation is
+        lazy), so this compacts cancelled heads and skips cancelled
+        entries when counting — callers polling "is the sim idle?" must
+        not see phantom work.  O(n) in heap size; for a boolean check
+        prefer :attr:`idle`.
+        """
+        heap = self._heap
+        while heap and heap[0].cancelled:
+            heapq.heappop(heap)
+        return sum(1 for ev in heap if not ev.cancelled)
+
+    @property
+    def idle(self) -> bool:
+        """True when no live event remains — nothing can ever fire again."""
+        return self.peek_time() is None

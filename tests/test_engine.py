@@ -131,6 +131,47 @@ class TestRunBounds:
             sim.schedule(i, lambda: None)
         assert sim.run() == 7
 
+    def test_max_events_with_until_does_not_jump_clock(self):
+        """Regression: stopping on max_events with events still pending
+        before `until` must not force-advance the clock past them."""
+        sim = Simulator()
+        fired = []
+        for t in (10, 20, 30):
+            sim.schedule(t, lambda t=t: fired.append(t))
+        assert sim.run(until=100, max_events=1) == 1
+        assert sim.now == 10  # NOT 100: events at 20/30 are still due
+        sim.run()
+        assert fired == [10, 20, 30]
+        assert sim.now == 30
+
+    def test_max_events_then_step_never_goes_backwards(self):
+        sim = Simulator()
+        times = []
+        for t in (10, 20):
+            sim.schedule(t, lambda: times.append(sim.now))
+        sim.run(until=100, max_events=1)
+        before = sim.now
+        sim.step()
+        assert sim.now >= before
+        assert times == sorted(times)
+
+    def test_until_advances_when_remaining_events_are_later(self):
+        # stopped on max_events, but every remaining event is past `until`:
+        # advancing the clock to the bound is still correct
+        sim = Simulator()
+        sim.schedule(10, lambda: None)
+        sim.schedule(500, lambda: None)
+        sim.run(until=100, max_events=1)
+        assert sim.now == 100
+
+    def test_until_advances_past_cancelled_pending_event(self):
+        sim = Simulator()
+        sim.schedule(10, lambda: None)
+        ev = sim.schedule(50, lambda: None)
+        ev.cancel()
+        sim.run(until=100, max_events=1)
+        assert sim.now == 100
+
 
 class TestStepAndPeek:
     def test_step_executes_one(self):
@@ -153,6 +194,41 @@ class TestStepAndPeek:
 
     def test_peek_empty_is_none(self):
         assert Simulator().peek_time() is None
+
+
+class TestPendingAndIdle:
+    def test_pending_counts_live_events(self):
+        sim = Simulator()
+        for i in range(4):
+            sim.schedule(i + 1, lambda: None)
+        assert sim.pending == 4
+
+    def test_pending_excludes_cancelled(self):
+        """Regression: lazily-cancelled events must not count as work."""
+        sim = Simulator()
+        evs = [sim.schedule(i + 1, lambda: None) for i in range(5)]
+        evs[0].cancel()
+        evs[3].cancel()
+        assert sim.pending == 3
+
+    def test_pending_zero_when_all_cancelled(self):
+        sim = Simulator()
+        evs = [sim.schedule(i + 1, lambda: None) for i in range(3)]
+        for ev in evs:
+            ev.cancel()
+        assert sim.pending == 0
+        assert sim.idle
+
+    def test_idle_lifecycle(self):
+        sim = Simulator()
+        assert sim.idle
+        ev = sim.schedule(5, lambda: None)
+        assert not sim.idle
+        ev.cancel()
+        assert sim.idle
+        sim.schedule(7, lambda: None)
+        sim.run()
+        assert sim.idle
 
 
 @given(st.lists(st.integers(min_value=0, max_value=10_000), min_size=1, max_size=200))

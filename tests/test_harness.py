@@ -129,6 +129,46 @@ class TestRunExperiment:
         assert key(a.flows) == key(b.flows)
 
 
+class TestDrainedHeapReturnsPromptly:
+    def test_stalled_flow_does_not_busy_spin(self, monkeypatch):
+        """Regression: when the event heap drains before every flow has
+        completed (a stalled flow has no timers pending, so nothing can
+        ever finish it), run_experiment must return promptly with
+        ``completed < total`` instead of spinning in 50 ms chunks all the
+        way to a distant deadline."""
+        import repro.harness.runner as runner_mod
+        from repro.units import SEC
+
+        # wire every flow but the last: that flow never starts, so the
+        # heap drains once the other nine finish
+        real_wire = runner_mod._wire_endpoints
+
+        def wire_all_but_last(sim, cfg, topo, flows, collector, tagger):
+            return real_wire(sim, cfg, topo, flows[:-1], collector, tagger)
+
+        monkeypatch.setattr(runner_mod, "_wire_endpoints", wire_all_but_last)
+
+        # a busy-spinning loop calls sim.run once per 50 ms chunk; with a
+        # one-hour deadline that is 72,000 calls — fail fast way earlier
+        calls = {"n": 0}
+
+        class CountingSim(runner_mod.Simulator):
+            def run(self, *args, **kwargs):
+                calls["n"] += 1
+                assert calls["n"] < 2_000, "runner busy-spins on drained heap"
+                return super().run(*args, **kwargs)
+
+        monkeypatch.setattr(runner_mod, "Simulator", CountingSim)
+
+        cfg = ExperimentConfig(
+            scheme="tcn", scheduler="dwrr", workload="cache",
+            load=0.5, n_flows=10, seed=1, max_sim_ns=3600 * SEC,
+        )
+        res = runner_mod.run_experiment(cfg)
+        assert res.completed == res.total - 1
+        assert not res.all_completed
+
+
 class TestReport:
     def test_format_table_alignment(self):
         out = format_table(["a", "bbb"], [["1", "2"], ["333", "4"]])

@@ -1,0 +1,308 @@
+"""The sweep runner: caching, parallel/serial equivalence, robustness."""
+
+import json
+import multiprocessing
+import os
+import time
+
+import pytest
+
+from repro.harness.config import ExperimentConfig
+from repro.harness import sweep as sweep_mod
+from repro.harness.runner import run_experiment
+from repro.harness.sweep import (
+    ResultCache,
+    SweepError,
+    config_key,
+    run_sweep,
+)
+
+HAS_FORK = "fork" in multiprocessing.get_all_start_methods()
+
+BASE = dict(scheduler="dwrr", workload="cache", load=0.5, n_flows=8)
+
+
+def _grid():
+    """Four small configs: 2 schemes x 2 seeds (the acceptance grid)."""
+    return [
+        ExperimentConfig(scheme=scheme, seed=seed, **BASE)
+        for scheme in ("tcn", "red_std")
+        for seed in (1, 2)
+    ]
+
+
+def _canon(result):
+    return json.dumps(result.payload(), sort_keys=True)
+
+
+class TestConfigKey:
+    def test_stable_across_instances(self):
+        a = ExperimentConfig(scheme="tcn", seed=1, **BASE)
+        b = ExperimentConfig(scheme="tcn", seed=1, **BASE)
+        assert config_key(a) == config_key(b)
+
+    def test_any_field_change_changes_key(self):
+        base = ExperimentConfig(scheme="tcn", seed=1, **BASE)
+        for variant in (
+            ExperimentConfig(scheme="red_std", seed=1, **BASE),
+            ExperimentConfig(scheme="tcn", seed=2, **BASE),
+            ExperimentConfig(scheme="tcn", seed=1, **{**BASE, "load": 0.6}),
+        ):
+            assert config_key(base) != config_key(variant)
+
+    def test_code_version_is_part_of_key(self, monkeypatch):
+        cfg = ExperimentConfig(scheme="tcn", seed=1, **BASE)
+        before = config_key(cfg)
+        monkeypatch.setattr(sweep_mod, "_CODE_VERSION", "deadbeefdeadbeef")
+        assert config_key(cfg) != before
+
+
+class TestSerial:
+    def test_matches_run_experiment(self):
+        cfg = ExperimentConfig(scheme="tcn", seed=1, **BASE)
+        direct = run_experiment(cfg)
+        outcome = run_sweep([cfg], processes=0)
+        res = outcome[0]
+        assert res.ok and not res.from_cache
+        assert res.completed == direct.completed
+        assert res.total == direct.total
+        assert res.drops == direct.drops
+        assert res.marks == direct.marks
+        assert res.sim_ns == direct.sim_ns
+        assert res.events == direct.events
+        assert res.summary.avg_all_ns == direct.summary.avg_all_ns
+        assert res.flow_stats == [
+            (f.size_bytes, f.fct_ns) for f in direct.flows if f.completed
+        ]
+        assert res.all_completed
+
+    def test_results_in_input_order(self):
+        configs = _grid()
+        outcome = run_sweep(configs, processes=0)
+        assert [r.config.scheme for r in outcome] == [
+            c.scheme for c in configs
+        ]
+        assert [r.config.seed for r in outcome] == [c.seed for c in configs]
+
+    def test_exception_becomes_structured_error(self, monkeypatch):
+        def boom(cfg):
+            raise RuntimeError("injected failure")
+
+        monkeypatch.setattr(sweep_mod, "_execute_config", boom)
+        outcome = run_sweep([ExperimentConfig(scheme="tcn", **BASE)], processes=0)
+        res = outcome[0]
+        assert not res.ok and not outcome.ok
+        assert res.error.kind == "exception"
+        assert "injected failure" in res.error.traceback
+        assert outcome.stats.errors == 1
+
+    def test_progress_callback_fires_per_config(self):
+        seen = []
+        run_sweep(
+            _grid()[:2],
+            processes=0,
+            progress=lambda done, total, res: seen.append((done, total, res.ok)),
+        )
+        assert seen == [(1, 2, True), (2, 2, True)]
+
+
+@pytest.mark.skipif(not HAS_FORK, reason="parallel sweeps need fork")
+class TestParallel:
+    def test_parallel_results_byte_identical_to_serial(self):
+        configs = _grid()
+        serial = run_sweep(configs, processes=0)
+        parallel = run_sweep(configs, processes=2)
+        assert len(serial) == len(parallel) == 4
+        for a, b in zip(serial, parallel):
+            assert a.ok and b.ok
+            assert _canon(a) == _canon(b)
+
+    def test_crashed_worker_is_reported_not_hung(self, monkeypatch):
+        real = sweep_mod._execute_config
+
+        def crash_on_seed_2(cfg):
+            if cfg.seed == 2:
+                os._exit(17)
+            return real(cfg)
+
+        monkeypatch.setattr(sweep_mod, "_execute_config", crash_on_seed_2)
+        configs = _grid()
+        outcome = run_sweep(configs, processes=2)
+        by_seed = {(r.config.scheme, r.config.seed): r for r in outcome}
+        for (_, seed), res in by_seed.items():
+            if seed == 2:
+                assert res.error is not None and res.error.kind == "crash"
+                assert res.error.exitcode == 17
+            else:
+                assert res.ok
+        assert outcome.stats.errors == 2
+
+    def test_timed_out_worker_is_terminated(self, monkeypatch):
+        real = sweep_mod._execute_config
+
+        def hang_on_seed_2(cfg):
+            if cfg.seed == 2:
+                time.sleep(300)
+            return real(cfg)
+
+        monkeypatch.setattr(sweep_mod, "_execute_config", hang_on_seed_2)
+        configs = [
+            ExperimentConfig(scheme="tcn", seed=seed, **BASE)
+            for seed in (1, 2)
+        ]
+        start = time.monotonic()
+        outcome = run_sweep(configs, processes=2, timeout_s=2.0)
+        assert time.monotonic() - start < 60  # returned, did not hang
+        ok, timed_out = outcome[0], outcome[1]
+        assert ok.ok
+        assert timed_out.error is not None
+        assert timed_out.error.kind == "timeout"
+
+
+class TestCache:
+    def test_hit_on_identical_config(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cfg = ExperimentConfig(scheme="tcn", seed=1, **BASE)
+        first = run_sweep([cfg], processes=0, cache=cache)
+        assert first.stats.cache_hits == 0 and first.stats.cache_misses == 1
+        assert not first[0].from_cache
+
+        again = run_sweep([cfg], processes=0, cache=cache)
+        assert again.stats.cache_hits == 1 and again.stats.cache_misses == 0
+        assert again[0].from_cache
+        assert _canon(first[0]) == _canon(again[0])
+
+    def test_miss_after_config_change(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        run_sweep(
+            [ExperimentConfig(scheme="tcn", seed=1, **BASE)],
+            processes=0, cache=cache,
+        )
+        changed = run_sweep(
+            [ExperimentConfig(scheme="tcn", seed=1, **{**BASE, "load": 0.6})],
+            processes=0, cache=cache,
+        )
+        assert changed.stats.cache_hits == 0
+        assert changed.stats.cache_misses == 1
+
+    def test_miss_after_code_change(self, tmp_path, monkeypatch):
+        cache = ResultCache(tmp_path)
+        cfg = ExperimentConfig(scheme="tcn", seed=1, **BASE)
+        run_sweep([cfg], processes=0, cache=cache)
+        monkeypatch.setattr(sweep_mod, "_CODE_VERSION", "0123456789abcdef")
+        again = run_sweep([cfg], processes=0, cache=cache)
+        assert again.stats.cache_hits == 0
+
+    def test_corrupt_entry_is_a_miss(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cfg = ExperimentConfig(scheme="tcn", seed=1, **BASE)
+        run_sweep([cfg], processes=0, cache=cache)
+        path = cache.path_for(config_key(cfg))
+        with open(path, "w") as fh:
+            fh.write("{ not json")
+        again = run_sweep([cfg], processes=0, cache=cache)
+        assert again.stats.cache_hits == 0
+        assert again[0].ok  # re-ran and re-cached
+
+    def test_errors_are_not_cached(self, tmp_path, monkeypatch):
+        cache = ResultCache(tmp_path)
+        cfg = ExperimentConfig(scheme="tcn", seed=1, **BASE)
+
+        def boom(c):
+            raise RuntimeError("no")
+
+        monkeypatch.setattr(sweep_mod, "_execute_config", boom)
+        run_sweep([cfg], processes=0, cache=cache)
+        assert not os.path.exists(cache.path_for(config_key(cfg)))
+
+    @pytest.mark.skipif(not HAS_FORK, reason="parallel sweeps need fork")
+    def test_parallel_sweep_rerun_served_from_cache(self, tmp_path):
+        """Acceptance: a >= 4-config sweep at processes >= 2 matches the
+        serial path, and re-running it is served >= 90% from cache."""
+        cache = ResultCache(tmp_path)
+        configs = _grid()
+        serial = run_sweep(configs, processes=0)
+        first = run_sweep(configs, processes=2, cache=cache)
+        assert first.stats.cache_hits == 0
+        for a, b in zip(serial, first):
+            assert _canon(a) == _canon(b)
+
+        again = run_sweep(configs, processes=2, cache=cache)
+        assert again.stats.cache_hits >= 0.9 * len(configs)  # all 4, in fact
+        assert again.stats.cache_hits == len(configs)
+        for a, b in zip(first, again):
+            assert b.from_cache
+            assert _canon(a) == _canon(b)
+
+
+class TestBenchlibRouting:
+    def test_run_schemes_routes_through_sweep_cache(self, tmp_path, monkeypatch):
+        from benchmarks import benchlib
+
+        monkeypatch.setattr(benchlib, "CACHE_DIR", str(tmp_path))
+        monkeypatch.setenv("REPRO_SWEEP_PROCESSES", "0")
+        out = benchlib.run_schemes(("tcn", "red_std"), **BASE)
+        assert set(out) == {"tcn", "red_std"}
+        assert all(not r.from_cache for r in out.values())
+        out2 = benchlib.run_schemes(("tcn", "red_std"), **BASE)
+        assert all(r.from_cache for r in out2.values())
+        assert out["tcn"].summary.avg_all_ns == out2["tcn"].summary.avg_all_ns
+
+    def test_run_schemes_pooled_matches_direct_runs(self, tmp_path, monkeypatch):
+        from benchmarks import benchlib
+
+        monkeypatch.setattr(benchlib, "CACHE_DIR", str(tmp_path))
+        monkeypatch.setenv("REPRO_SWEEP_PROCESSES", "0")
+        pooled = benchlib.run_schemes_pooled(("tcn",), seeds=(1, 2), **BASE)
+        direct = [
+            run_experiment(ExperimentConfig(scheme="tcn", seed=s, **BASE))
+            for s in (1, 2)
+        ]
+        expected = benchlib.PooledResult(direct)
+        got = pooled["tcn"]
+        assert got.summary.n_flows == expected.summary.n_flows
+        assert got.summary.avg_all_ns == expected.summary.avg_all_ns
+        assert got.summary.p99_small_ns == expected.summary.p99_small_ns
+        assert got.drops == expected.drops
+        assert got.timeouts == expected.timeouts
+
+    def test_sweep_failure_raises(self, tmp_path, monkeypatch):
+        from benchmarks import benchlib
+
+        monkeypatch.setattr(benchlib, "CACHE_DIR", str(tmp_path))
+        monkeypatch.setenv("REPRO_SWEEP_PROCESSES", "0")
+
+        def boom(cfg):
+            raise RuntimeError("injected")
+
+        monkeypatch.setattr(sweep_mod, "_execute_config", boom)
+        with pytest.raises(RuntimeError, match="sweep failed"):
+            benchlib.run_schemes(("tcn",), **BASE)
+
+
+class TestSweepCli:
+    def test_cli_sweep_serial_with_cache(self, tmp_path, capsys):
+        from repro.__main__ import main
+
+        argv = [
+            "sweep", "--scheme", "tcn", "--load", "0.5", "--flows", "8",
+            "--workload", "cache", "--seed", "1", "--seed", "2",
+            "--processes", "0", "--cache-dir", str(tmp_path),
+        ]
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "2 configs" in out and "0 cache hits" in out
+
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "2 cache hits" in out
+
+    def test_cli_sweep_no_cache(self, capsys):
+        from repro.__main__ import main
+
+        rc = main([
+            "sweep", "--scheme", "tcn", "--load", "0.5", "--flows", "8",
+            "--workload", "cache", "--processes", "0", "--no-cache",
+        ])
+        assert rc == 0
+        assert "cache hits" in capsys.readouterr().out
