@@ -21,7 +21,7 @@ import os
 from typing import Dict, Iterable, List, Optional, Tuple
 
 from repro.harness.config import ExperimentConfig
-from repro.harness.report import format_fct_rows, format_table
+from repro.harness.report import format_fct_rows
 from repro.harness.runner import ExperimentResult
 from repro.harness.sweep import ResultCache, SweepOutcome, SweepResult, run_sweep
 

@@ -17,7 +17,7 @@ from repro.topo.star import StarTopology
 from repro.transport.flow import Flow
 from repro.transport.receiver import Receiver
 from repro.transport.tcp import EcnStarSender
-from repro.units import GBPS, KB, MB, MSEC, USEC
+from repro.units import GBPS, MB, MSEC, USEC
 
 from benchmarks.benchlib import save_results
 from repro.harness.report import format_table

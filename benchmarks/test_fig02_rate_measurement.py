@@ -13,7 +13,6 @@ t=10 ms, dropping queue 1's capacity to 5 Gbps.  Findings:
 
 from repro.aqm.ideal import IdealRed
 from repro.aqm.mqecn import MqEcn
-from repro.metrics.timeseries import GoodputTracker
 from repro.sched.base import make_queues
 from repro.sched.dwrr import DwrrScheduler
 from repro.sim.engine import Simulator

@@ -8,7 +8,7 @@ search the least skewed (~60% of its bytes from flows under 10 MB).
 import random
 
 from repro.units import KB, MB
-from repro.workloads.distributions import ALL_WORKLOADS, WEB_SEARCH
+from repro.workloads.distributions import ALL_WORKLOADS
 
 from benchmarks.benchlib import save_results
 from repro.harness.report import format_table

@@ -104,6 +104,21 @@ from repro.harness import (
     TRANSPORTS,
     format_table,
     format_fct_rows,
+    format_port_breakdown,
+)
+from repro.obs import (
+    Tracer,
+    NullTracer,
+    NULL_TRACER,
+    MetricsRegistry,
+    Counter,
+    Gauge,
+    Histogram,
+    RunProfile,
+    TraceSummary,
+    summarize_events,
+    summarize_trace_file,
+    format_trace_summary,
 )
 
 __version__ = "1.0.0"
@@ -198,4 +213,18 @@ __all__ = [
     "TRANSPORTS",
     "format_table",
     "format_fct_rows",
+    "format_port_breakdown",
+    # observability
+    "Tracer",
+    "NullTracer",
+    "NULL_TRACER",
+    "MetricsRegistry",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "RunProfile",
+    "TraceSummary",
+    "summarize_events",
+    "summarize_trace_file",
+    "format_trace_summary",
 ]

@@ -1,11 +1,15 @@
 """Command-line entry point: run one experiment and print its FCT table,
-or fan a parameter sweep across worker processes.
+fan a parameter sweep across worker processes, or summarize a trace.
 
 Examples::
 
     python -m repro --scheme tcn --scheduler dwrr --load 0.7 --flows 200
     python -m repro --scheme red_std --scheduler sp_wfq --pias --queues 5
     python -m repro --topology leafspine --workload mixed --transport ecnstar
+
+    # record the packet-lifecycle trace of a run, then summarize it
+    python -m repro run --scheme tcn --trace out.jsonl --ports
+    python -m repro trace out.jsonl
 
     # cartesian sweep (repeat a flag to add grid points), 4 workers,
     # results cached under benchmarks/.cache/
@@ -20,10 +24,18 @@ import itertools
 import sys
 
 from repro.harness.config import ExperimentConfig
-from repro.harness.report import format_fct_rows
+from repro.harness.report import format_fct_rows, format_port_breakdown
 from repro.harness.runner import run_experiment
 from repro.harness.schemes import SCHEDULERS, SCHEMES, TRANSPORTS
 from repro.harness.sweep import ResultCache, SweepResult, run_sweep
+from repro.obs import (
+    DEFAULT_CAPACITY,
+    RunProfile,
+    Tracer,
+    format_trace_summary,
+    summarize_events,
+    summarize_trace_file,
+)
 from repro.units import KB
 
 
@@ -51,6 +63,30 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--buffer-kb", type=int, default=96, help="per-port buffer (KB)"
     )
+    parser.add_argument(
+        "--trace", metavar="PATH", default=None,
+        help="record the event trace and write it as JSONL to PATH",
+    )
+    parser.add_argument(
+        "--trace-limit", type=int, default=DEFAULT_CAPACITY,
+        help="trace ring-buffer capacity in events (oldest evicted first)",
+    )
+    parser.add_argument(
+        "--ports", action="store_true",
+        help="print the per-port traffic/mark/drop breakdown",
+    )
+    return parser
+
+
+def build_trace_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro trace",
+        description=(
+            "Summarize a JSONL event trace (written by `run --trace`): "
+            "per-queue mark rates, sojourn percentiles, drop causes."
+        ),
+    )
+    parser.add_argument("path", help="JSONL trace file")
     return parser
 
 
@@ -139,17 +175,32 @@ def sweep_main(argv=None) -> int:
         return 2
     cache = None if args.no_cache else ResultCache(args.cache_dir)
 
+    # live tallies across progress callbacks: aggregate simulation
+    # throughput of the runs that actually ran, and the cache-hit ratio
+    live = {"events": 0, "wall": 0.0, "hits": 0}
+
     def progress(done: int, total: int, result: SweepResult) -> None:
         if result.error is not None:
             status = f"ERROR ({result.error.kind})"
         elif result.from_cache:
+            live["hits"] += 1
             status = "cached"
         else:
+            live["events"] += result.events
+            live["wall"] += result.wall_s
             status = (
                 f"ran {result.wall_s:.1f}s wall, "
                 f"{result.sim_ns / 1e9:.2f}s sim, {result.events} events"
             )
-        print(f"[{done}/{total}] {_sweep_label(result)}: {status}")
+        rate = (
+            f"{live['events'] / live['wall'] / 1e3:.0f}k ev/s"
+            if live["wall"] > 0
+            else "- ev/s"
+        )
+        print(
+            f"[{done}/{total}] {_sweep_label(result)}: {status} "
+            f"| {rate}, {live['hits']}/{done} cached"
+        )
 
     outcome = run_sweep(
         configs,
@@ -167,12 +218,28 @@ def sweep_main(argv=None) -> int:
         if result.error.traceback:
             print(result.error.traceback)
     stats = outcome.stats
+    rate = (
+        f"; {stats.events_per_sec / 1e3:.0f}k sim events/s"
+        if stats.sim_events
+        else ""
+    )
     print(
         f"\n{stats.total} configs in {stats.wall_s:.1f}s: "
         f"{stats.cache_hits} cache hits, {stats.cache_misses} misses, "
-        f"{stats.errors} errors"
+        f"{stats.errors} errors{rate}"
     )
     return 0 if outcome.ok else 1
+
+
+def trace_main(argv=None) -> int:
+    args = build_trace_parser().parse_args(argv)
+    try:
+        summary = summarize_trace_file(args.path)
+    except OSError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(format_trace_summary(summary))
+    return 0
 
 
 def main(argv=None) -> int:
@@ -180,6 +247,12 @@ def main(argv=None) -> int:
         argv = sys.argv[1:]
     if argv and argv[0] == "sweep":
         return sweep_main(argv[1:])
+    if argv and argv[0] == "trace":
+        return trace_main(argv[1:])
+    if argv and argv[0] == "run":
+        # explicit subcommand form; bare flags still mean "run" for
+        # backward compatibility
+        argv = argv[1:]
     args = build_parser().parse_args(argv)
     cfg = ExperimentConfig(
         scheme=args.scheme,
@@ -194,7 +267,8 @@ def main(argv=None) -> int:
         seed=args.seed,
         buffer_bytes=args.buffer_kb * KB,
     )
-    result = run_experiment(cfg)
+    tracer = Tracer(capacity=args.trace_limit) if args.trace else None
+    result = run_experiment(cfg, tracer=tracer)
     print(format_fct_rows({args.scheme: result}))
     print(
         f"\ncompleted {result.completed}/{result.total} flows in "
@@ -203,6 +277,20 @@ def main(argv=None) -> int:
         f"{result.timeouts} timeouts, {result.drops} drops, "
         f"{result.marks} ECN marks"
     )
+    print("profile: " + RunProfile(**result.profile).describe())
+    if args.ports:
+        print()
+        print(format_port_breakdown(result.metrics))
+    if tracer is not None:
+        n = tracer.export_jsonl(args.trace)
+        evicted = (
+            f" ({tracer.dropped_events} evicted from the ring)"
+            if tracer.dropped_events
+            else ""
+        )
+        print(f"\nwrote {n} trace events to {args.trace}{evicted}")
+        print()
+        print(format_trace_summary(summarize_events(tracer.iter_dicts())))
     return 0 if result.all_completed else 1
 
 

@@ -3,7 +3,11 @@
 from repro.harness.config import ExperimentConfig
 from repro.harness.runner import ExperimentResult, run_experiment
 from repro.harness.schemes import SCHEMES, SCHEDULERS, TRANSPORTS
-from repro.harness.report import format_table, format_fct_rows
+from repro.harness.report import (
+    format_table,
+    format_fct_rows,
+    format_port_breakdown,
+)
 from repro.harness.sweep import (
     ResultCache,
     SweepError,
@@ -30,4 +34,5 @@ __all__ = [
     "TRANSPORTS",
     "format_table",
     "format_fct_rows",
+    "format_port_breakdown",
 ]

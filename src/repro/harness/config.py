@@ -10,7 +10,7 @@ either relies on that derivation or pins the exact values the paper quotes
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional
 
 from repro.core.thresholds import (

@@ -25,6 +25,47 @@ def _us(value_ns: Optional[float]) -> str:
     return f"{value_ns / 1000.0:.0f}us"
 
 
+def format_port_breakdown(metrics: Dict[str, dict]) -> str:
+    """Per-port traffic/mark/drop table from a run's metrics snapshot.
+
+    Reads the ``port.<name>.<field>`` counters that
+    ``run_experiment`` registers (per-queue ``port.<name>.q<i>.*`` keys
+    are skipped here — the ``trace`` subcommand breaks queues out).
+    Ports with no traffic at all are omitted.
+    """
+    ports: Dict[str, Dict[str, int]] = {}
+    for key, snap in metrics.items():
+        if not key.startswith("port."):
+            continue
+        # port names contain no dots, so: port-level keys split into
+        # (name, field); per-queue keys into (name, q<i>, field).
+        parts = key[len("port."):].split(".")
+        if len(parts) != 2:
+            continue
+        name, fld = parts
+        if isinstance(snap, dict):  # histogram snapshots don't tabulate
+            continue
+        ports.setdefault(name, {})[fld] = snap
+    headers = ["port", "rx_pkts", "tx_pkts", "marks", "mark%", "drops", "drop%"]
+    rows: List[List[str]] = []
+    for name in sorted(ports):
+        c = ports[name]
+        rx = c.get("rx_pkts", 0)
+        tx = c.get("tx_pkts", 0)
+        if rx == 0 and tx == 0:
+            continue
+        marks = c.get("marked_pkts", 0)
+        drops = c.get("dropped_pkts", 0)
+        mark_pct = f"{100.0 * marks / tx:.2f}" if tx else "-"
+        drop_pct = f"{100.0 * drops / rx:.2f}" if rx else "-"
+        rows.append(
+            [name, str(rx), str(tx), str(marks), mark_pct, str(drops), drop_pct]
+        )
+    if not rows:
+        return "(no port traffic recorded)"
+    return format_table(headers, rows)
+
+
 def format_fct_rows(results: Dict[str, ExperimentResult]) -> str:
     """One row per scheme: the paper's four FCT statistics plus counters.
 

@@ -22,6 +22,7 @@ from typing import Dict, List, Optional
 from repro.harness.config import ExperimentConfig
 from repro.harness.schemes import SCHEDULERS, SCHEMES, TRANSPORTS
 from repro.metrics.fct import FctCollector, FctSummary
+from repro.obs import MetricsRegistry, RunProfile, Tracer
 from repro.pias.tagger import PiasTagger
 from repro.sim.engine import Simulator
 from repro.sim.rng import RngFactory
@@ -53,14 +54,32 @@ class ExperimentResult:
     wall_s: float
     events: int = 0
     flows: List[Flow] = field(repr=False, default_factory=list)
+    #: MetricsRegistry.snapshot() of the run — per-port / per-queue
+    #: counters plus FCT (and, when traced, sojourn) histograms.  Every
+    #: value is derived from simulated state, so it is deterministic.
+    metrics: Dict[str, dict] = field(repr=False, default_factory=dict)
+    #: RunProfile.as_dict() — events, heap high-water mark, wall time.
+    #: Wall-clock derived, hence *not* deterministic (kept out of sweep
+    #: cache payloads).
+    profile: Dict[str, float] = field(repr=False, default_factory=dict)
 
     @property
     def all_completed(self) -> bool:
         return self.completed == self.total
 
 
-def run_experiment(cfg: ExperimentConfig) -> ExperimentResult:
-    """Run one configured experiment to completion."""
+def run_experiment(
+    cfg: ExperimentConfig, tracer: Optional[Tracer] = None
+) -> ExperimentResult:
+    """Run one configured experiment to completion.
+
+    Pass a :class:`repro.obs.Tracer` to record the packet lifecycle on
+    every switch port and the control-law updates of every sender.
+    Tracing never changes the simulation (hook points only *read* state),
+    so a traced run produces the same :class:`ExperimentResult` as an
+    untraced one — modulo the trace-derived sojourn histogram in
+    ``metrics`` — which ``tests/test_trace_determinism.py`` asserts.
+    """
     cfg.validate()
     sim = Simulator()
     rng = RngFactory(cfg.seed)
@@ -69,6 +88,15 @@ def run_experiment(cfg: ExperimentConfig) -> ExperimentResult:
     collector = FctCollector()
     tagger = _build_tagger(cfg)
     senders = _wire_endpoints(sim, cfg, topo, flows, collector, tagger)
+    switches = _switches_of(topo)
+    if tracer is not None and tracer.enabled:
+        # Switch egress ports carry the AQM/scheduler behaviour under
+        # study; host NIC ports stay untraced to bound trace volume.
+        for sw in switches:
+            for port in sw.ports:
+                port.tracer = tracer
+        for sender in senders:
+            sender.tracer = tracer
 
     wall_start = time.time()
     deadline = _deadline_ns(cfg, flows)
@@ -80,12 +108,14 @@ def run_experiment(cfg: ExperimentConfig) -> ExperimentResult:
             # no flow can ever complete, so chunking on toward the deadline
             # would just busy-spin.  Return with completed < total.
             break
+    wall_s = time.time() - wall_start
 
-    switches = _switches_of(topo)
     small_cut = 100_000
     timeouts_small = sum(
         s.stats.timeouts for s in senders if s.flow.size_bytes <= small_cut
     )
+    registry = MetricsRegistry()
+    _register_run_metrics(registry, switches, collector, tracer)
     return ExperimentResult(
         config=cfg,
         summary=collector.summarize(),
@@ -96,10 +126,54 @@ def run_experiment(cfg: ExperimentConfig) -> ExperimentResult:
         drops=sum(sw.total_drops() for sw in switches),
         marks=sum(sw.total_marks() for sw in switches),
         sim_ns=sim.now,
-        wall_s=time.time() - wall_start,
+        wall_s=wall_s,
         events=events,
         flows=flows,
+        metrics=registry.snapshot(),
+        profile=RunProfile.capture(sim, wall_s).as_dict(),
     )
+
+
+def _register_run_metrics(
+    registry: MetricsRegistry,
+    switches: List,
+    collector: FctCollector,
+    tracer: Optional[Tracer],
+) -> None:
+    """Populate the run's metrics registry from final simulated state.
+
+    Names follow ``port.<name>.<field>`` / ``port.<name>.q<i>.<field>``
+    so :func:`repro.harness.report.format_port_breakdown` can group them;
+    AQMs and schedulers add their own under ``aqm.*`` / ``sched.*`` via
+    their ``register_metrics`` hooks.
+    """
+    for sw in switches:
+        for port in sw.ports:
+            stats = port.stats
+            prefix = f"port.{port.name}"
+            for fld in (
+                "rx_pkts", "rx_bytes", "tx_pkts", "tx_bytes",
+                "marked_pkts", "dropped_pkts", "dropped_bytes",
+            ):
+                registry.counter(f"{prefix}.{fld}").inc(getattr(stats, fld))
+            for i, q in enumerate(port.scheduler.queues):
+                qp = f"{prefix}.q{i}"
+                registry.counter(f"{qp}.enqueued_pkts").inc(q.enqueued_pkts)
+                registry.counter(f"{qp}.dequeued_pkts").inc(q.dequeued_pkts)
+                registry.counter(f"{qp}.marked_pkts").inc(q.marked_pkts)
+                registry.counter(f"{qp}.dropped_pkts").inc(q.dropped_pkts)
+                registry.gauge(f"{qp}.max_bytes_seen").set(q.max_bytes_seen)
+            if port.aqm is not None:
+                port.aqm.register_metrics(registry, port)
+            port.scheduler.register_metrics(registry, port)
+    fct_hist = registry.histogram("fct_ns")
+    for flow in collector.flows:
+        fct_hist.record(flow.fct_ns)
+    if tracer is not None and tracer.enabled:
+        sojourn = registry.histogram("trace.sojourn_ns")
+        for event in tracer.events:
+            if event[0] == "deq":
+                sojourn.record(event[7])
 
 
 # -- builders ------------------------------------------------------------

@@ -129,6 +129,11 @@ class SweepResult:
     events: int = 0
     wall_s: float = 0.0
     flow_stats: List[Tuple[int, int]] = field(repr=False, default_factory=list)
+    #: MetricsRegistry snapshot of the run (deterministic, so cacheable)
+    metrics: Dict[str, dict] = field(repr=False, default_factory=dict)
+    #: event-heap high-water mark — deterministic, unlike the rest of the
+    #: run profile, so it travels with the payload
+    heap_hwm: int = 0
     from_cache: bool = False
     error: Optional[SweepError] = None
 
@@ -157,6 +162,8 @@ class SweepResult:
             "sim_ns": self.sim_ns,
             "events": self.events,
             "flow_stats": [list(pair) for pair in self.flow_stats],
+            "metrics": self.metrics,
+            "heap_hwm": self.heap_hwm,
         }
 
 
@@ -169,10 +176,21 @@ class SweepStats:
     cache_misses: int = 0
     errors: int = 0
     wall_s: float = 0.0
+    #: simulator events executed by the runs that actually ran (cache
+    #: hits contribute nothing — their simulations never happened)
+    sim_events: int = 0
+    #: summed per-run wall time of those runs (>= ``wall_s`` when the
+    #: sweep is parallel)
+    run_wall_s: float = 0.0
 
     @property
     def hit_rate(self) -> float:
         return self.cache_hits / self.total if self.total else 0.0
+
+    @property
+    def events_per_sec(self) -> float:
+        """Aggregate simulation throughput of the non-cached runs."""
+        return self.sim_events / self.run_wall_s if self.run_wall_s > 0 else 0.0
 
 
 @dataclass
@@ -221,6 +239,8 @@ def _result_from_payload(
         events=payload.get("events", 0),
         wall_s=wall_s,
         flow_stats=[tuple(pair) for pair in payload["flow_stats"]],
+        metrics=payload.get("metrics", {}),
+        heap_hwm=payload.get("heap_hwm", 0),
         from_cache=from_cache,
     )
 
@@ -309,6 +329,8 @@ def _execute_config(cfg: ExperimentConfig) -> Tuple[dict, float]:
         "flow_stats": [
             [f.size_bytes, f.fct_ns] for f in res.flows if f.completed
         ],
+        "metrics": res.metrics,
+        "heap_hwm": res.profile.get("heap_hwm", 0),
     }
     return payload, res.wall_s
 
@@ -494,8 +516,12 @@ def run_sweep(
         done["n"] += 1
         if result.error is not None:
             stats.errors += 1
-        elif cache is not None and not result.from_cache:
-            cache.put(result.config, result.payload(), result.wall_s)
+        else:
+            if not result.from_cache:
+                stats.sim_events += result.events
+                stats.run_wall_s += result.wall_s
+                if cache is not None:
+                    cache.put(result.config, result.payload(), result.wall_s)
         if progress is not None:
             progress(done["n"], len(configs), result)
 

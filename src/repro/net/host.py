@@ -8,7 +8,7 @@ ping responder used for the paper's RTT measurements, Fig. 5b).
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Callable, Dict, Optional
+from typing import TYPE_CHECKING, Callable, Dict
 
 from repro.net.packet import Packet, PacketKind
 from repro.net.port import EgressPort

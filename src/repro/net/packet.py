@@ -12,7 +12,6 @@ enqueue, and sojourn-time AQMs (TCN, CoDel, PIE) read it on dequeue.
 from __future__ import annotations
 
 from enum import IntEnum
-from typing import Optional
 
 from repro.units import ACK_SIZE, HEADER, PROBE_SIZE
 

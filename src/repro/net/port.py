@@ -23,7 +23,7 @@ Lifecycle of a packet through a port::
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Callable, List, Optional
+from typing import TYPE_CHECKING, Callable, Optional
 
 from repro.net.link import Link
 from repro.net.packet import Packet
@@ -41,6 +41,7 @@ class PortStats:
 
     __slots__ = (
         "rx_pkts",
+        "rx_bytes",
         "tx_pkts",
         "tx_bytes",
         "dropped_pkts",
@@ -50,6 +51,7 @@ class PortStats:
 
     def __init__(self) -> None:
         self.rx_pkts = 0
+        self.rx_bytes = 0
         self.tx_pkts = 0
         self.tx_bytes = 0
         self.dropped_pkts = 0
@@ -80,6 +82,8 @@ class EgressPort:
         "stats",
         "pool",
         "occupancy_tracker",
+        "tracer",
+        "_qindex",
     )
 
     def __init__(
@@ -108,30 +112,47 @@ class EgressPort:
         self.pool = None
         #: optional callable(now, occupancy) sampled on every change
         self.occupancy_tracker: Optional[Callable[[int, int], None]] = None
+        #: optional repro.obs.Tracer; None keeps the hot path branch-only
+        self.tracer = None
+        # Stable queue-object -> global-index map for trace labels: hybrid
+        # schedulers rewrite queue.index to band-local values, so position
+        # in scheduler.queues is the only trustworthy global identity.
+        self._qindex = {id(q): i for i, q in enumerate(scheduler.queues)}
         if aqm is not None:
             aqm.setup(self)
 
     # -- ingress ---------------------------------------------------------
 
     def receive(self, pkt: Packet) -> None:
-        """Admit, classify, (maybe) mark, and enqueue an arriving packet."""
-        self.stats.rx_pkts += 1
+        """Classify, admit, (maybe) mark, and enqueue an arriving packet.
+
+        Classification happens exactly once, before the admission check:
+        a stateful classifier must not be stepped twice for a packet that
+        is then dropped (and the drop must be charged to the queue the
+        packet was headed for).
+        """
+        stats = self.stats
+        stats.rx_pkts += 1
         size = pkt.wire_size
-        if self.occupancy + size > self.buffer_bytes or (
-            self.pool is not None and not self.pool.admit(size)
-        ):
-            self._drop(pkt)
-            return
+        stats.rx_bytes += size
         qidx = self.classify(pkt)
+        if self.occupancy + size > self.buffer_bytes:
+            self._drop(pkt, qidx, "buffer")
+            return
+        if self.pool is not None and not self.pool.admit(size):
+            self._drop(pkt, qidx, "pool")
+            return
         queue = self.scheduler.queues[qidx]
         now = self.sim.now
         pkt.enq_ts = now
         if self.aqm is not None and self.aqm.on_enqueue(self, queue, pkt, now):
-            self._mark(pkt, queue)
+            self._mark(pkt, queue, "enq")
         self.occupancy += size
         if self.pool is not None:
             self.pool.occupancy += size
         self.scheduler.enqueue(pkt, qidx, now)
+        if self.tracer is not None:
+            self.tracer.enqueue(now, self.name, qidx, pkt)
         if self.occupancy_tracker is not None:
             self.occupancy_tracker(now, self.occupancy)
         if not self.busy:
@@ -145,8 +166,12 @@ class EgressPort:
             return
         pkt, queue = result
         now = self.sim.now
+        if self.tracer is not None:
+            self.tracer.dequeue(
+                now, self.name, self._qindex[id(queue)], pkt, now - pkt.enq_ts
+            )
         if self.aqm is not None and self.aqm.on_dequeue(self, queue, pkt, now):
-            self._mark(pkt, queue)
+            self._mark(pkt, queue, "deq")
         size = pkt.wire_size
         self.occupancy -= size
         if self.pool is not None:
@@ -168,17 +193,22 @@ class EgressPort:
 
     # -- helpers -----------------------------------------------------------
 
-    def _mark(self, pkt: Packet, queue: PacketQueue) -> None:
+    def _mark(self, pkt: Packet, queue: PacketQueue, where: str) -> None:
         if pkt.ect and not pkt.ce:
             pkt.ce = True
             queue.marked_pkts += 1
             self.stats.marked_pkts += 1
+            if self.tracer is not None:
+                self.tracer.mark(
+                    self.sim.now, self.name, self._qindex[id(queue)], pkt, where
+                )
 
-    def _drop(self, pkt: Packet) -> None:
+    def _drop(self, pkt: Packet, qidx: int, cause: str = "buffer") -> None:
         self.stats.dropped_pkts += 1
         self.stats.dropped_bytes += pkt.wire_size
-        qidx = self.classify(pkt)
         self.scheduler.queues[qidx].dropped_pkts += 1
+        if self.tracer is not None:
+            self.tracer.drop(self.sim.now, self.name, qidx, pkt, cause)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"<EgressPort {self.name} {self.occupancy}B buffered>"

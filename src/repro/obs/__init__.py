@@ -1,0 +1,50 @@
+"""Observability: event tracing, metrics registry, run profiling.
+
+Zero-overhead-when-off instrumentation for the whole pipeline:
+
+* :class:`Tracer` — bounded ring buffer of typed packet-lifecycle /
+  AQM / transport events with deterministic JSONL export (and
+  :class:`NullTracer`, the explicit no-op).
+* :class:`MetricsRegistry` — counters, gauges, log-bucketed histograms
+  that components register into and the harness snapshots into results.
+* :class:`RunProfile` — events processed, events/sec, heap and RSS
+  high-water marks per run.
+* :func:`summarize_events` / :func:`summarize_trace_file` /
+  :func:`format_trace_summary` — the analysis behind
+  ``python -m repro trace``.
+
+See ``docs/OBSERVABILITY.md`` for the event schema and extension guide.
+"""
+
+from repro.obs.trace import (
+    DEFAULT_CAPACITY,
+    NULL_TRACER,
+    NullTracer,
+    Tracer,
+)
+from repro.obs.registry import Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs.profile import RunProfile
+from repro.obs.summary import (
+    QueueSummary,
+    TraceSummary,
+    format_trace_summary,
+    summarize_events,
+    summarize_trace_file,
+)
+
+__all__ = [
+    "Tracer",
+    "NullTracer",
+    "NULL_TRACER",
+    "DEFAULT_CAPACITY",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "RunProfile",
+    "QueueSummary",
+    "TraceSummary",
+    "summarize_events",
+    "summarize_trace_file",
+    "format_trace_summary",
+]

@@ -1,0 +1,75 @@
+"""Run profiling: how hard did the engine work, and how fast.
+
+The simulator keeps two always-on counters (``events_executed`` and
+``heap_hwm`` — both a single compare-and-store per event, measured in the
+noise on the benchmarks); :class:`RunProfile` packages them with wall
+time into the record every perf PR cites as its before/after evidence.
+"""
+
+from __future__ import annotations
+
+import sys
+from dataclasses import dataclass
+from typing import Dict, Union
+
+from repro.sim.engine import Simulator
+
+
+@dataclass
+class RunProfile:
+    """Profiling counters for one simulation run.
+
+    ``events`` and ``heap_hwm`` are deterministic properties of the run;
+    ``wall_s`` / ``events_per_sec`` / ``rss_hwm_bytes`` describe the host
+    executing it and vary between machines (the sweep cache therefore
+    persists only the deterministic fields).
+    """
+
+    events: int = 0
+    heap_hwm: int = 0
+    wall_s: float = 0.0
+    events_per_sec: float = 0.0
+    #: process high-water RSS (bytes), 0 where the platform can't say
+    rss_hwm_bytes: int = 0
+
+    @classmethod
+    def capture(cls, sim: Simulator, wall_s: float) -> "RunProfile":
+        events = sim.events_executed
+        return cls(
+            events=events,
+            heap_hwm=sim.heap_hwm,
+            wall_s=wall_s,
+            events_per_sec=events / wall_s if wall_s > 0 else 0.0,
+            rss_hwm_bytes=_rss_high_water(),
+        )
+
+    def as_dict(self) -> Dict[str, Union[int, float]]:
+        return {
+            "events": self.events,
+            "heap_hwm": self.heap_hwm,
+            "wall_s": self.wall_s,
+            "events_per_sec": self.events_per_sec,
+            "rss_hwm_bytes": self.rss_hwm_bytes,
+        }
+
+    def describe(self) -> str:
+        """One human line for CLIs and sweep progress output."""
+        parts = [
+            f"{self.events} events",
+            f"{self.events_per_sec / 1e3:.0f}k ev/s",
+            f"heap high-water {self.heap_hwm}",
+        ]
+        if self.rss_hwm_bytes:
+            parts.append(f"rss high-water {self.rss_hwm_bytes / 2**20:.0f} MB")
+        return ", ".join(parts)
+
+
+def _rss_high_water() -> int:
+    """Peak RSS of this process in bytes (0 if unavailable)."""
+    try:
+        import resource
+    except ImportError:  # pragma: no cover - non-POSIX
+        return 0
+    peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    # Linux reports KiB, macOS reports bytes
+    return peak * 1024 if sys.platform != "darwin" else peak

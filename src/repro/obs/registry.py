@@ -1,0 +1,172 @@
+"""A small metrics registry: counters, gauges, log-bucketed histograms.
+
+Components register named metrics into one :class:`MetricsRegistry` per
+run; the harness snapshots the registry into ``ExperimentResult.metrics``
+(a plain JSON-serialisable dict), which rides through sweep worker
+payloads and the on-disk result cache unchanged.
+
+Design notes
+------------
+* Metric names are dotted paths (``port.sw0:p0.marked_pkts``); the last
+  dot separates the field from its owner, so reports can group per-port
+  breakdowns without a schema.
+* Histograms are **log2-bucketed**: a value lands in bucket
+  ``value.bit_length()``, i.e. bucket *i* covers ``[2^(i-1), 2^i)``.
+  This keeps memory O(64) per histogram regardless of sample count while
+  preserving exact ``count``/``sum``/``min``/``max`` and percentile
+  estimates within a factor of two — ample for sojourn/FCT/occupancy
+  distributions that span six decades.
+* Everything here is deterministic: snapshots of two identical runs are
+  equal, so cached sweep payloads stay byte-identical.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, Optional, Tuple, Union
+
+Number = Union[int, float]
+
+
+class Counter:
+    """A monotonically increasing integer."""
+
+    __slots__ = ("name", "help", "value")
+
+    def __init__(self, name: str, help: str = "") -> None:
+        self.name = name
+        self.help = help
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        if amount < 0:
+            raise ValueError(f"counter {self.name} cannot decrease by {amount}")
+        self.value += amount
+
+    def snapshot(self) -> int:
+        return self.value
+
+
+class Gauge:
+    """A point-in-time value (set, not accumulated)."""
+
+    __slots__ = ("name", "help", "value")
+
+    def __init__(self, name: str, help: str = "") -> None:
+        self.name = name
+        self.help = help
+        self.value: Number = 0
+
+    def set(self, value: Number) -> None:
+        self.value = value
+
+    def snapshot(self) -> Number:
+        return self.value
+
+
+class Histogram:
+    """Log2-bucketed distribution of non-negative integers."""
+
+    __slots__ = ("name", "help", "buckets", "count", "sum", "min", "max")
+
+    def __init__(self, name: str, help: str = "") -> None:
+        self.name = name
+        self.help = help
+        self.buckets: Dict[int, int] = {}
+        self.count = 0
+        self.sum = 0
+        self.min: Optional[int] = None
+        self.max: Optional[int] = None
+
+    def record(self, value: int) -> None:
+        if value < 0:
+            raise ValueError(f"histogram {self.name} takes values >= 0, got {value}")
+        value = int(value)
+        idx = value.bit_length()
+        self.buckets[idx] = self.buckets.get(idx, 0) + 1
+        self.count += 1
+        self.sum += value
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+
+    def percentile(self, p: float) -> Optional[float]:
+        """Upper bound of the bucket holding the p-th percentile sample.
+
+        Nearest-rank over buckets; exact to within the bucket's factor-of
+        -two width (and exact at the extremes via ``min``/``max``).
+        """
+        if not 0.0 <= p <= 100.0:
+            raise ValueError(f"percentile must be in [0,100], got {p}")
+        if self.count == 0:
+            return None
+        rank = max(1, -(-int(p * self.count) // 100))  # ceil(p/100 * n)
+        rank = min(rank, self.count)
+        seen = 0
+        for idx in sorted(self.buckets):
+            seen += self.buckets[idx]
+            if seen >= rank:
+                upper = (1 << idx) - 1 if idx else 0
+                # clamp the edge buckets to the exact observed extremes
+                if self.max is not None:
+                    upper = min(upper, self.max)
+                if self.min is not None:
+                    upper = max(upper, self.min)
+                return float(upper)
+        raise AssertionError("unreachable: rank <= count")  # pragma: no cover
+
+    @property
+    def mean(self) -> Optional[float]:
+        return self.sum / self.count if self.count else None
+
+    def snapshot(self) -> Dict:
+        return {
+            "type": "histogram",
+            "count": self.count,
+            "sum": self.sum,
+            "min": self.min,
+            "max": self.max,
+            "buckets": {str(idx): n for idx, n in sorted(self.buckets.items())},
+        }
+
+
+class MetricsRegistry:
+    """Named metrics, get-or-create semantics, JSON-able snapshots."""
+
+    def __init__(self) -> None:
+        self._metrics: Dict[str, Union[Counter, Gauge, Histogram]] = {}
+
+    def _get_or_create(self, cls, name: str, help: str):
+        metric = self._metrics.get(name)
+        if metric is None:
+            metric = cls(name, help)
+            self._metrics[name] = metric
+        elif type(metric) is not cls:
+            raise ValueError(
+                f"metric {name!r} already registered as "
+                f"{type(metric).__name__}, not {cls.__name__}"
+            )
+        return metric
+
+    def counter(self, name: str, help: str = "") -> Counter:
+        return self._get_or_create(Counter, name, help)
+
+    def gauge(self, name: str, help: str = "") -> Gauge:
+        return self._get_or_create(Gauge, name, help)
+
+    def histogram(self, name: str, help: str = "") -> Histogram:
+        return self._get_or_create(Histogram, name, help)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._metrics
+
+    def __len__(self) -> int:
+        return len(self._metrics)
+
+    def items(self) -> Iterator[Tuple[str, Union[Counter, Gauge, Histogram]]]:
+        return iter(self._metrics.items())
+
+    def snapshot(self) -> Dict[str, Union[int, float, Dict]]:
+        """Plain dict of every metric's current value (JSON-serialisable,
+        deterministic for deterministic runs)."""
+        return {name: m.snapshot() for name, m in sorted(self._metrics.items())}

@@ -1,0 +1,156 @@
+"""Summarize a trace: per-queue mark rates, sojourn percentiles, drops.
+
+Works from any iterable of event dicts (a live :class:`~repro.obs.trace.
+Tracer` via ``iter_dicts()``, or a JSONL file written by
+``export_jsonl``), so ``python -m repro trace out.jsonl`` and in-process
+analysis share one code path.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.metrics.fct import percentile
+
+SOJOURN_PERCENTILES = (50.0, 90.0, 99.0)
+
+
+@dataclass
+class QueueSummary:
+    """Per-(port, queue) lifecycle counts from a trace."""
+
+    enqueued: int = 0
+    dequeued: int = 0
+    marked: int = 0
+    dropped: int = 0
+
+    @property
+    def mark_rate(self) -> Optional[float]:
+        """Marks per dequeued packet (None before any dequeue)."""
+        return self.marked / self.dequeued if self.dequeued else None
+
+
+@dataclass
+class TraceSummary:
+    """Everything ``python -m repro trace`` reports."""
+
+    n_events: int = 0
+    by_kind: Dict[str, int] = field(default_factory=dict)
+    queues: Dict[Tuple[str, int], QueueSummary] = field(default_factory=dict)
+    drop_causes: Dict[str, int] = field(default_factory=dict)
+    sojourns_ns: List[int] = field(repr=False, default_factory=list)
+    t_first_ns: Optional[int] = None
+    t_last_ns: Optional[int] = None
+
+    @property
+    def total_marks(self) -> int:
+        return sum(q.marked for q in self.queues.values())
+
+    @property
+    def total_drops(self) -> int:
+        return sum(q.dropped for q in self.queues.values())
+
+    def sojourn_percentile(self, p: float) -> Optional[float]:
+        return percentile(self.sojourns_ns, p) if self.sojourns_ns else None
+
+    @property
+    def sojourn_mean_ns(self) -> Optional[float]:
+        if not self.sojourns_ns:
+            return None
+        return sum(self.sojourns_ns) / len(self.sojourns_ns)
+
+
+def summarize_events(events: Iterable[Dict]) -> TraceSummary:
+    """Fold an event-dict stream into a :class:`TraceSummary`."""
+    summary = TraceSummary()
+    for event in events:
+        summary.n_events += 1
+        kind = event["ev"]
+        summary.by_kind[kind] = summary.by_kind.get(kind, 0) + 1
+        t = event["t"]
+        if summary.t_first_ns is None:
+            summary.t_first_ns = t
+        summary.t_last_ns = t
+        if kind in ("enqueue", "dequeue", "mark", "drop"):
+            key = (event["port"], event["q"])
+            queue = summary.queues.get(key)
+            if queue is None:
+                queue = summary.queues[key] = QueueSummary()
+            if kind == "enqueue":
+                queue.enqueued += 1
+            elif kind == "dequeue":
+                queue.dequeued += 1
+                summary.sojourns_ns.append(event["sojourn_ns"])
+            elif kind == "mark":
+                queue.marked += 1
+            else:
+                queue.dropped += 1
+                cause = event["cause"]
+                summary.drop_causes[cause] = (
+                    summary.drop_causes.get(cause, 0) + 1
+                )
+    return summary
+
+
+def summarize_trace_file(path: str) -> TraceSummary:
+    """Summarize a JSONL trace written by ``Tracer.export_jsonl``."""
+
+    def events():
+        with open(path) as fh:
+            for line in fh:
+                line = line.strip()
+                if line:
+                    yield json.loads(line)
+
+    return summarize_events(events())
+
+
+def format_trace_summary(summary: TraceSummary) -> str:
+    """Render the plain-text report the ``trace`` subcommand prints."""
+    lines: List[str] = []
+    span = ""
+    if summary.t_first_ns is not None:
+        span = (
+            f" spanning {(summary.t_last_ns - summary.t_first_ns) / 1e6:.2f} ms"
+            f" of simulated time"
+        )
+    lines.append(f"{summary.n_events} events{span}")
+    if summary.by_kind:
+        kinds = ", ".join(
+            f"{kind}={n}" for kind, n in sorted(summary.by_kind.items())
+        )
+        lines.append(f"  by kind: {kinds}")
+
+    if summary.queues:
+        lines.append("")
+        lines.append("per-queue lifecycle:")
+        header = f"  {'queue':<16} {'enq':>8} {'deq':>8} {'marks':>7} {'drops':>7} {'mark-rate':>9}"
+        lines.append(header)
+        lines.append("  " + "-" * (len(header) - 2))
+        for (port, qidx), q in sorted(summary.queues.items()):
+            rate = f"{q.mark_rate:.3f}" if q.mark_rate is not None else "-"
+            lines.append(
+                f"  {f'{port}[q{qidx}]':<16} {q.enqueued:>8} {q.dequeued:>8} "
+                f"{q.marked:>7} {q.dropped:>7} {rate:>9}"
+            )
+
+    if summary.sojourns_ns:
+        lines.append("")
+        pcts = "  ".join(
+            f"p{p:g}={summary.sojourn_percentile(p) / 1e3:.1f}us"
+            for p in SOJOURN_PERCENTILES
+        )
+        lines.append(
+            f"sojourn ({len(summary.sojourns_ns)} samples): "
+            f"mean={summary.sojourn_mean_ns / 1e3:.1f}us  {pcts}  "
+            f"max={max(summary.sojourns_ns) / 1e3:.1f}us"
+        )
+
+    if summary.drop_causes:
+        causes = ", ".join(
+            f"{cause}={n}" for cause, n in sorted(summary.drop_causes.items())
+        )
+        lines.append(f"drop causes: {causes}")
+    return "\n".join(lines)

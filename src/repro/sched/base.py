@@ -48,6 +48,17 @@ class Scheduler:
         """Remove and return ``(packet, queue_it_came_from)``, or ``None``."""
         raise NotImplementedError
 
+    def register_metrics(self, registry, port) -> None:
+        """Publish discipline-specific metrics into a ``MetricsRegistry``.
+
+        Called once per port at the end of a harness run.  The default
+        publishes nothing; disciplines with interesting internal state
+        (deficit counters, virtual time, band occupancy...) override this
+        — see docs/OBSERVABILITY.md for the naming convention
+        (``sched.<port-name>.<field>``) and docs/EXTENDING.md for a
+        worked example.
+        """
+
     # -- shared helpers ---------------------------------------------------
 
     def _account_enqueue(self, pkt: Packet, qidx: int) -> PacketQueue:

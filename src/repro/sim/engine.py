@@ -64,13 +64,17 @@ class Simulator:
     [100]
     """
 
-    __slots__ = ("now", "_heap", "_seq", "_running")
+    __slots__ = ("now", "_heap", "_seq", "_running", "events_executed", "heap_hwm")
 
     def __init__(self) -> None:
         self.now: int = 0
         self._heap: List[Event] = []
         self._seq: int = 0
         self._running = False
+        #: lifetime count of executed (non-cancelled) events — profiling
+        self.events_executed: int = 0
+        #: high-water mark of the pending-event heap (cancelled included)
+        self.heap_hwm: int = 0
 
     # -- scheduling -----------------------------------------------------
 
@@ -89,6 +93,8 @@ class Simulator:
         self._seq += 1
         ev = Event(time_ns, self._seq, fn)
         heapq.heappush(self._heap, ev)
+        if len(self._heap) > self.heap_hwm:
+            self.heap_hwm = len(self._heap)
         return ev
 
     # -- execution ------------------------------------------------------
@@ -122,6 +128,7 @@ class Simulator:
                     break
         finally:
             self._running = False
+            self.events_executed += executed
         if until is not None and self.now < until:
             nxt = self.peek_time()
             if nxt is None or nxt > until:
@@ -140,6 +147,7 @@ class Simulator:
                 continue
             self.now = ev.time
             ev.fn()
+            self.events_executed += 1
             return True
         return False
 

@@ -77,6 +77,9 @@ class SenderBase:
         self.tagger = tagger
         self.on_done = on_done
         self.stats = TransportStats()
+        #: optional repro.obs.Tracer recording cwnd/alpha/rate updates;
+        #: None (the default) keeps the ACK path branch-only
+        self.tracer = None
         # RFC 6298 state
         self.min_rto_ns = min_rto_ns
         self.max_rto_ns = max_rto_ns
@@ -230,6 +233,7 @@ class SenderBase:
             self.stats.fast_retransmits += 1
             self.ssthresh = max(self.cwnd / 2.0, 2.0)
             self.cwnd = self.ssthresh
+            self._trace_cwnd("fast_retx")
             self.in_recovery = True
             self.recover = self.snd_nxt
             self._transmit(self.snd_una, is_retx=True)
@@ -249,6 +253,17 @@ class SenderBase:
 
     def _on_ecn_feedback(self, ece: bool, newly_acked: int) -> None:
         """Subclass hook, called on every ACK (including dupacks)."""
+
+    def _trace_cwnd(self, reason: str) -> None:
+        """Record a congestion-window cut into the attached tracer.
+
+        Cuts (not per-ACK growth) are the signal worth a trace event:
+        they are rare, and each one names the congestion response — ECN,
+        fast retransmit, or timeout — the evaluation figures break out.
+        """
+        tracer = self.tracer
+        if tracer is not None:
+            tracer.cwnd(self.sim.now, self.flow.id, self.cwnd, reason)
 
     def _window_cut_allowed(self) -> bool:
         """At most one multiplicative cut per window of data."""
@@ -289,6 +304,7 @@ class SenderBase:
         self.stats.timeouts += 1
         self.ssthresh = max(self.cwnd / 2.0, 2.0)
         self.cwnd = 1.0
+        self._trace_cwnd("timeout")
         self.dupacks = 0
         self.in_recovery = False
         self.snd_nxt = self.snd_una  # go-back-N from the hole

@@ -140,6 +140,10 @@ class DcqcnSender(SenderBase):
         )
         self.alpha = (1.0 - self.g) * self.alpha + self.g
         self._fr_count = 0
+        tracer = self.tracer
+        if tracer is not None:
+            tracer.rate(self.sim.now, self.flow.id, self.rc_bps)
+            tracer.alpha(self.sim.now, self.flow.id, self.alpha)
 
     def _alpha_timer(self) -> None:
         if self.done:

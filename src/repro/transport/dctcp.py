@@ -44,6 +44,7 @@ class DctcpSender(SenderBase):
             if self._window_cut_allowed():
                 self.cwnd = max(self.cwnd * (1.0 - self.alpha / 2.0), 1.0)
                 self.ssthresh = max(self.cwnd, 2.0)
+                self._trace_cwnd("ecn")
                 self._register_window_cut()
         if self.snd_una >= self._window_end:
             self._update_alpha()
@@ -53,5 +54,8 @@ class DctcpSender(SenderBase):
         if self._acked_in_window > 0:
             frac = self._marked_in_window / self._acked_in_window
             self.alpha = (1.0 - self.g) * self.alpha + self.g * frac
+            tracer = self.tracer
+            if tracer is not None:
+                tracer.alpha(self.sim.now, self.flow.id, self.alpha)
         self._acked_in_window = 0
         self._marked_in_window = 0

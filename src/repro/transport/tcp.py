@@ -25,6 +25,7 @@ class EcnStarSender(SenderBase):
         if ece and self._window_cut_allowed():
             self.cwnd = max(self.cwnd / 2.0, 1.0)
             self.ssthresh = max(self.cwnd, 2.0)
+            self._trace_cwnd("ecn")
             self._register_window_cut()
 
 

@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import random
 from bisect import bisect_left
-from typing import List, Sequence, Tuple
+from typing import Sequence, Tuple
 
 
 class EmpiricalCdf:

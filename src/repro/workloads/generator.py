@@ -20,7 +20,7 @@ Two shapes cover all the experiments:
 from __future__ import annotations
 
 import random
-from typing import List, Optional, Sequence
+from typing import List, Sequence
 
 from repro.sim.rng import RngFactory
 from repro.transport.flow import Flow

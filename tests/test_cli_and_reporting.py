@@ -35,6 +35,40 @@ class TestCli:
         assert result.returncode == 0
         assert "completed 10/10" in result.stdout
 
+    def test_run_subcommand_is_equivalent_to_bare_flags(self, capsys):
+        from repro.__main__ import main
+
+        rc = main(["run", "--flows", "10", "--load", "0.5", "--seed", "2"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "completed 10/10" in out
+        assert "profile:" in out and "ev/s" in out
+
+    def test_run_with_trace_then_trace_subcommand(self, tmp_path, capsys):
+        from repro.__main__ import main
+
+        trace_path = str(tmp_path / "run.jsonl")
+        rc = main([
+            "run", "--flows", "10", "--load", "0.5", "--seed", "2",
+            "--trace", trace_path, "--ports",
+        ])
+        assert rc == 0
+        run_out = capsys.readouterr().out
+        assert f"trace events to {trace_path}" in run_out
+        assert "mark%" in run_out  # --ports breakdown table
+
+        rc = main(["trace", trace_path])
+        assert rc == 0
+        trace_out = capsys.readouterr().out
+        assert "per-queue lifecycle:" in trace_out
+        assert "sojourn" in trace_out and "p99=" in trace_out
+
+    def test_trace_subcommand_missing_file(self, capsys):
+        from repro.__main__ import main
+
+        assert main(["trace", "/nonexistent/trace.jsonl"]) == 2
+        assert "error:" in capsys.readouterr().err
+
 
 class TestPooledResult:
     def _runs(self):

@@ -4,7 +4,7 @@ import pytest
 
 from repro.harness.config import ExperimentConfig
 from repro.harness.runner import ConnectionPool, run_experiment
-from repro.units import GBPS, KB, MB, USEC
+from repro.units import GBPS, KB, MB
 
 
 class TestConnectionPool:

@@ -7,7 +7,7 @@ from repro.aqm.pie import Pie
 from repro.sched.base import make_queues
 from repro.sched.dwrr import DwrrScheduler
 from repro.sim.engine import Simulator
-from repro.units import GBPS, KB, MSEC, SEC, USEC
+from repro.units import GBPS, KB, MSEC, USEC
 from tests.helpers import data_pkt, fill, make_port
 
 

@@ -7,7 +7,7 @@ from repro.core.tcn import Tcn
 from repro.sched.fifo import FifoScheduler
 from repro.sim.engine import Simulator
 from repro.topo.star import StarTopology
-from repro.units import GBPS, KB, MB, MSEC, SEC, USEC
+from repro.units import GBPS, KB, MSEC, SEC, USEC
 
 
 def _setup(n_workers=8, buffer_kb=300, rate=10 * GBPS):

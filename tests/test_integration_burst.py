@@ -10,7 +10,7 @@ from repro.topo.star import StarTopology
 from repro.transport.dctcp import DctcpSender
 from repro.transport.flow import Flow
 from repro.transport.receiver import Receiver
-from repro.units import GBPS, KB, MB, MSEC, SEC, USEC
+from repro.units import GBPS, KB, MSEC, SEC, USEC
 
 
 def _incast(aqm_factory, n_senders=16, flow_bytes=256 * KB, buffer_bytes=150 * KB):

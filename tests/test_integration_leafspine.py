@@ -1,7 +1,6 @@
 """Leaf-spine end-to-end behaviour: ECMP path stability, fabric-wide TCN,
 and the harness's all-to-all experiment shape."""
 
-import pytest
 
 from repro.core.tcn import Tcn
 from repro.harness.config import ExperimentConfig

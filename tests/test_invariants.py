@@ -11,7 +11,6 @@ import random
 from hypothesis import given, settings, strategies as st
 
 from repro.core.tcn import Tcn
-from repro.net.packet import PacketKind
 from repro.sched.base import make_queues
 from repro.sched.dwrr import DwrrScheduler
 from repro.sched.hybrid import SpDwrrScheduler, SpWfqScheduler

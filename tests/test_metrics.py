@@ -150,3 +150,57 @@ class TestOccupancySampler:
         assert sampler.max_in_window(50, 250) == 30
         assert sampler.mean_in_window(50, 250) == 25.0
         assert sampler.max_in_window(300, 400) == 0
+
+
+class TestBisectQueriesMatchLinearScan:
+    """The O(log n) query paths must agree with the obvious O(n) scans."""
+
+    def _goodput_events(self):
+        # deliberately includes duplicate timestamps and zero-size events
+        import random
+
+        rng = random.Random(7)
+        t = 0
+        events = []
+        for _ in range(500):
+            t += rng.choice([0, 1, 5, 40])
+            events.append((t, rng.choice([0, 100, 1250, 9000])))
+        return events
+
+    def test_goodput_windows(self):
+        events = self._goodput_events()
+        tracker = GoodputTracker()
+        for t, b in events:
+            tracker.record(0, b, t)
+        t_max = events[-1][0]
+        for t_from, t_to in [(0, t_max), (100, 900), (t_max, t_max + 10),
+                             (-5, 3), (37, 38)]:
+            linear = sum(b for t, b in events if t_from < t <= t_to)
+            expected = linear * 8 * SEC / (t_to - t_from)
+            assert tracker.goodput_bps(0, t_from, t_to) == pytest.approx(
+                expected
+            ), (t_from, t_to)
+
+    def test_occupancy_windows(self):
+        import random
+
+        rng = random.Random(11)
+        samples, t = [], 0
+        for _ in range(300):
+            t += rng.choice([0, 2, 17])
+            samples.append((t, rng.randrange(0, 5000)))
+        sim = Simulator()
+        sampler = OccupancySampler(make_port(sim), event_driven=False)
+        sampler.samples = samples
+        assert sampler.peak_bytes == max(occ for _, occ in samples)
+        t_max = samples[-1][0]
+        for t_from, t_to in [(0, t_max), (50, 500), (t_max + 1, t_max + 9),
+                             (13, 13)]:
+            window = [occ for t, occ in samples if t_from <= t <= t_to]
+            assert sampler.max_in_window(t_from, t_to) == (
+                max(window) if window else 0
+            ), (t_from, t_to)
+            expected_mean = sum(window) / len(window) if window else 0.0
+            assert sampler.mean_in_window(t_from, t_to) == pytest.approx(
+                expected_mean
+            ), (t_from, t_to)

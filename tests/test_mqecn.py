@@ -9,7 +9,7 @@ from repro.sched.wfq import WfqScheduler
 from repro.sched.sp import StrictPriorityScheduler
 from repro.sched.pifo import PifoScheduler
 from repro.sim.engine import Simulator
-from repro.units import GBPS, KB, SEC, USEC
+from repro.units import GBPS, SEC, USEC
 from tests.helpers import data_pkt, fill, make_port
 
 

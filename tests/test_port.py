@@ -4,7 +4,6 @@ from repro.aqm.base import Aqm
 from repro.net.link import Link
 from repro.net.packet import Packet
 from repro.net.port import EgressPort
-from repro.sched.fifo import FifoScheduler
 from repro.sim.engine import Simulator
 from repro.units import GBPS, KB, USEC
 from tests.helpers import data_pkt, make_port

@@ -4,7 +4,7 @@ from hypothesis import given, settings, strategies as st
 
 from repro.sched.base import make_queues
 from repro.sched.dwrr import DwrrScheduler
-from tests.helpers import data_pkt, drain_in_order, fill
+from tests.helpers import drain_in_order, fill
 from repro.units import MSS
 
 

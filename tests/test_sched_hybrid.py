@@ -4,7 +4,7 @@ import pytest
 
 from repro.sched.base import make_queues
 from repro.sched.hybrid import SpDwrrScheduler, SpWfqScheduler
-from tests.helpers import data_pkt, drain_in_order, fill
+from tests.helpers import drain_in_order, fill
 
 
 class TestSpOverLow:

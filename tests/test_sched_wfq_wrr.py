@@ -6,7 +6,7 @@ from hypothesis import given, settings, strategies as st
 from repro.sched.base import make_queues
 from repro.sched.wfq import WfqScheduler
 from repro.sched.wrr import WrrScheduler
-from tests.helpers import data_pkt, drain_in_order, fill
+from tests.helpers import drain_in_order, fill
 
 
 def _served_bytes(sched, n_pkts):

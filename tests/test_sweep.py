@@ -12,7 +12,6 @@ from repro.harness import sweep as sweep_mod
 from repro.harness.runner import run_experiment
 from repro.harness.sweep import (
     ResultCache,
-    SweepError,
     config_key,
     run_sweep,
 )

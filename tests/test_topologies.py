@@ -10,7 +10,7 @@ from repro.topo.star import StarTopology
 from repro.transport.dctcp import DctcpSender
 from repro.transport.flow import Flow
 from repro.transport.receiver import Receiver
-from repro.units import GBPS, KB, MB, SEC, USEC
+from repro.units import GBPS, KB, SEC, USEC
 
 
 def _star(n=4):

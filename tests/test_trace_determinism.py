@@ -1,0 +1,130 @@
+"""Tracing is an observer: byte-identical traces, unchanged results."""
+
+import dataclasses
+import io
+
+import pytest
+
+from repro.harness.config import ExperimentConfig
+from repro.harness.runner import run_experiment
+from repro.harness.sweep import SweepResult, SweepStats, _result_from_payload
+from repro.metrics.fct import FctSummary
+from repro.obs import Tracer
+
+_CFG = dict(
+    scheme="tcn", scheduler="dwrr", workload="cache",
+    load=0.5, n_flows=15, seed=4,
+)
+
+
+def _traced_run():
+    tracer = Tracer()
+    result = run_experiment(ExperimentConfig(**_CFG), tracer=tracer)
+    return result, tracer
+
+
+def _jsonl(tracer: Tracer) -> str:
+    buf = io.StringIO()
+    tracer.export_jsonl(buf)
+    return buf.getvalue()
+
+
+class TestTraceDeterminism:
+    def test_same_seed_runs_give_byte_identical_traces(self):
+        _, t1 = _traced_run()
+        _, t2 = _traced_run()
+        blob1, blob2 = _jsonl(t1), _jsonl(t2)
+        assert blob1 and blob1 == blob2
+
+    def test_different_seed_changes_the_trace(self):
+        _, t1 = _traced_run()
+        tracer = Tracer()
+        run_experiment(
+            ExperimentConfig(**{**_CFG, "seed": 5}), tracer=tracer
+        )
+        assert _jsonl(t1) != _jsonl(tracer)
+
+
+class TestTracingIsPureObservation:
+    @pytest.fixture(scope="class")
+    def pair(self):
+        traced, tracer = _traced_run()
+        untraced = run_experiment(ExperimentConfig(**_CFG))
+        return traced, untraced, tracer
+
+    def test_summary_and_counters_identical(self, pair):
+        traced, untraced, _ = pair
+        for fld in FctSummary.__slots__:
+            assert getattr(traced.summary, fld) == getattr(untraced.summary, fld)
+        for fld in (
+            "completed", "total", "timeouts", "timeouts_small",
+            "drops", "marks", "sim_ns", "events",
+        ):
+            assert getattr(traced, fld) == getattr(untraced, fld), fld
+
+    def test_flow_fcts_identical(self, pair):
+        traced, untraced, _ = pair
+        assert [f.fct_ns for f in traced.flows] == [
+            f.fct_ns for f in untraced.flows
+        ]
+
+    def test_metrics_identical_modulo_trace_derived(self, pair):
+        traced, untraced, _ = pair
+        stripped = {
+            k: v for k, v in traced.metrics.items()
+            if not k.startswith("trace.")
+        }
+        assert stripped == untraced.metrics
+        # the trace-only sojourn histogram counts every dequeue
+        assert traced.metrics["trace.sojourn_ns"]["count"] > 0
+
+    def test_trace_marks_equal_result_marks(self, pair):
+        traced, _, tracer = pair
+        marks = sum(1 for ev in tracer.events if ev[0] == "mark")
+        assert marks == traced.marks
+        drops = sum(1 for ev in tracer.events if ev[0] == "drop")
+        assert drops == traced.drops
+
+    def test_deterministic_profile_fields(self, pair):
+        traced, untraced, _ = pair
+        assert traced.profile["events"] == untraced.profile["events"]
+        assert traced.profile["heap_hwm"] == untraced.profile["heap_hwm"]
+
+
+class TestSweepObservabilityFields:
+    def test_payload_round_trips_metrics_and_heap(self):
+        result = run_experiment(ExperimentConfig(**_CFG))
+        sr = SweepResult(
+            config=result.config,
+            summary=result.summary,
+            completed=result.completed,
+            total=result.total,
+            metrics=result.metrics,
+            heap_hwm=result.profile["heap_hwm"],
+        )
+        payload = sr.payload()
+        back = _result_from_payload(
+            result.config, payload, wall_s=0.0, from_cache=True
+        )
+        assert back.metrics == result.metrics
+        assert back.heap_hwm == result.profile["heap_hwm"] > 0
+
+    def test_old_payloads_without_new_fields_still_load(self):
+        cfg = ExperimentConfig(**_CFG)
+        payload = {
+            "summary": None, "completed": 0, "total": 0, "timeouts": 0,
+            "timeouts_small": 0, "drops": 0, "marks": 0, "sim_ns": 0,
+            "flow_stats": [],
+        }
+        back = _result_from_payload(cfg, payload, wall_s=0.0, from_cache=True)
+        assert back.metrics == {} and back.heap_hwm == 0
+
+    def test_sweep_stats_json_round_trip(self):
+        stats = SweepStats(
+            total=4, cache_hits=1, cache_misses=3, errors=0,
+            wall_s=1.0, sim_events=1000, run_wall_s=2.0,
+        )
+        back = SweepStats(**dataclasses.asdict(stats))
+        assert back == stats
+        assert back.events_per_sec == 500.0
+        assert SweepStats().events_per_sec == 0.0

@@ -1,7 +1,6 @@
 """The sender core: windowing, recovery, RTO, pacing — on a lossless and a
 lossy two-host wire."""
 
-import pytest
 
 from repro.net.host import Host
 from repro.net.link import Link
@@ -10,8 +9,8 @@ from repro.sim.engine import Simulator
 from repro.transport.dctcp import DctcpSender
 from repro.transport.flow import Flow
 from repro.transport.receiver import Receiver
-from repro.transport.tcp import EcnStarSender, RenoSender
-from repro.units import GBPS, KB, MB, MBPS, MSEC, MSS, SEC, USEC
+from repro.transport.tcp import RenoSender
+from repro.units import GBPS, KB, MB, MBPS, MSEC, SEC, USEC
 
 
 class _Wire:

@@ -4,7 +4,7 @@ import pytest
 
 from repro.net.host import Host
 from repro.net.nic import make_nic
-from repro.net.packet import Packet, PacketKind, make_ack, make_data
+from repro.net.packet import Packet, PacketKind, make_data
 from repro.sim.engine import Simulator
 from repro.transport.dctcp import DctcpSender
 from repro.transport.flow import Flow

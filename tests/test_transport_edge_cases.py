@@ -8,7 +8,7 @@ from repro.net.packet import Packet, PacketKind
 from repro.sim.engine import Simulator
 from repro.transport.dctcp import DctcpSender
 from repro.transport.flow import Flow
-from repro.units import GBPS, KB, MB, MSS
+from repro.units import GBPS, MB, MSS
 
 
 def _sender(size=1 * MB, cwnd=10.0):

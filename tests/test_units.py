@@ -4,8 +4,6 @@ import pytest
 
 from repro.units import (
     GBPS,
-    KB,
-    MB,
     MSEC,
     MSS,
     MTU,
