@@ -15,6 +15,9 @@ Examples::
     # results cached under benchmarks/.cache/
     python -m repro sweep --scheme tcn --scheme red_std \\
         --load 0.6 --load 0.9 --seed 1 --seed 2 --processes 4
+
+    # hot-path microbenchmarks; gate against the committed baselines
+    python -m repro bench --out bench-out --compare benchmarks/baselines
 """
 
 from __future__ import annotations
@@ -249,6 +252,10 @@ def main(argv=None) -> int:
         return sweep_main(argv[1:])
     if argv and argv[0] == "trace":
         return trace_main(argv[1:])
+    if argv and argv[0] == "bench":
+        from repro.bench.cli import main as bench_main
+
+        return bench_main(argv[1:])
     if argv and argv[0] == "run":
         # explicit subcommand form; bare flags still mean "run" for
         # backward compatibility

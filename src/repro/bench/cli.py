@@ -1,0 +1,120 @@
+"""``python -m repro bench``: run the pinned scenarios, emit JSON, gate.
+
+Examples::
+
+    # run everything, write BENCH_*.json into the current directory
+    python -m repro bench
+
+    # two scenarios, best-of-3, results under out/
+    python -m repro bench -s engine_churn -s incast --repeat 3 --out out/
+
+    # CI gate: fail (exit 1) if any scenario lost >30% events/sec
+    python -m repro bench --compare benchmarks/baselines
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.bench.runner import (
+    DEFAULT_THRESHOLD,
+    compare_results,
+    load_results,
+    run_scenario,
+    write_result,
+)
+from repro.bench.scenarios import SCENARIOS
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro bench",
+        description=(
+            "Run the pinned hot-path microbenchmarks and write one "
+            "BENCH_<scenario>.json per scenario."
+        ),
+    )
+    parser.add_argument(
+        "-s",
+        "--scenario",
+        action="append",
+        choices=sorted(SCENARIOS),
+        help="scenario to run (repeatable; default: all)",
+    )
+    parser.add_argument(
+        "--repeat",
+        type=int,
+        default=1,
+        help="repetitions per scenario; the fastest is kept (default 1)",
+    )
+    parser.add_argument(
+        "--out",
+        default=".",
+        metavar="DIR",
+        help="directory for BENCH_*.json files (default: cwd)",
+    )
+    parser.add_argument(
+        "--compare",
+        metavar="PATH",
+        default=None,
+        help=(
+            "baseline BENCH_*.json file or directory; exit 1 when any "
+            "scenario regressed beyond the threshold"
+        ),
+    )
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=DEFAULT_THRESHOLD,
+        help=(
+            "fractional events/sec loss that counts as a regression "
+            f"(default {DEFAULT_THRESHOLD:g} = fail below "
+            f"{100 * (1 - DEFAULT_THRESHOLD):.0f}%% of baseline)"
+        ),
+    )
+    parser.add_argument(
+        "--list",
+        action="store_true",
+        dest="list_scenarios",
+        help="list scenarios and exit",
+    )
+    return parser
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.list_scenarios:
+        for name in sorted(SCENARIOS):
+            print(f"{name}: {SCENARIOS[name].description}")
+        return 0
+    names = args.scenario or sorted(SCENARIOS)
+    results = []
+    for name in names:
+        result = run_scenario(name, repeat=args.repeat)
+        results.append(result)
+        path = write_result(result, args.out)
+        print(f"{result.describe()} -> {path}")
+    if args.compare is None:
+        return 0
+    try:
+        baseline = load_results(args.compare)
+    except (OSError, KeyError, ValueError) as exc:
+        print(f"error: cannot load baseline: {exc}", file=sys.stderr)
+        return 2
+    comparisons = compare_results(
+        results, baseline, threshold=args.threshold
+    )
+    print()
+    regressed = False
+    for comparison in comparisons:
+        print(comparison.describe())
+        regressed = regressed or comparison.regressed
+    missing = [r.scenario for r in results if r.scenario not in baseline]
+    if missing:
+        print(f"(no baseline for: {', '.join(missing)})")
+    return 1 if regressed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,145 @@
+"""The pinned scenarios: what each one stresses, and how it runs.
+
+A scenario is a name, a one-line description, and a zero-argument
+``run()`` returning ``(profile, fingerprint)``:
+
+* ``profile`` — the :class:`~repro.obs.profile.RunProfile` dict for the
+  run (events, heap_hwm, wall_s, events_per_sec, rss_hwm_bytes);
+* ``fingerprint`` — deterministic facts about *what* the run computed
+  (completed flows, simulated ns, ...), used to confirm that two builds
+  being compared actually did the same work.
+
+Everything here is seed-pinned; do not change sizes or seeds without
+regenerating the committed baselines in ``benchmarks/baselines/``.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import deque
+from typing import Callable, Dict, Mapping, NamedTuple, Tuple, Union
+
+from repro.harness.config import ExperimentConfig
+from repro.harness.runner import run_experiment
+from repro.obs.profile import RunProfile
+from repro.sim.engine import Simulator
+
+Fingerprint = Mapping[str, Union[int, float]]
+RunFn = Callable[[], Tuple[Dict[str, Union[int, float]], Fingerprint]]
+
+
+class Scenario(NamedTuple):
+    name: str
+    description: str
+    run: RunFn
+
+
+def _engine_churn() -> Tuple[Dict[str, Union[int, float]], Fingerprint]:
+    """Pure engine stress: a rotating timer set under constant churn.
+
+    Models the shape RTO timers impose on the heap: a driver event fires
+    every 10 ns, cancels the oldest of 256 outstanding timers and arms a
+    replacement 5 us out.  Every timer is cancelled well before its
+    deadline (it reaches the front of the rotation after 2.56 us), so
+    the heap carries a steady tombstone population that the pop loop
+    drains lazily — this exercises schedule, cancel, the tombstone
+    drain, and tie-ordered dispatch, with zero network objects.
+    """
+    steps = 200_000
+    k_timers = 256
+    timer_horizon_ns = 5_000
+    sim = Simulator()
+    timers = deque()
+
+    def noop() -> None:
+        pass
+
+    for i in range(k_timers):
+        timers.append(sim.schedule(timer_horizon_ns + i, noop))
+
+    remaining = [steps]
+
+    def drive() -> None:
+        left = remaining[0]
+        if left == 0:
+            for handle in timers:
+                sim.cancel(handle)
+            return
+        remaining[0] = left - 1
+        sim.cancel(timers.popleft())
+        timers.append(sim.schedule(timer_horizon_ns, noop))
+        sim.schedule(10, drive)
+
+    sim.schedule(0, drive)
+    start = time.perf_counter()
+    sim.run()
+    wall = time.perf_counter() - start
+    profile = RunProfile.capture(sim, wall).as_dict()
+    fingerprint = {"steps": steps, "sim_ns": sim.now}
+    return profile, fingerprint
+
+
+def _experiment(**overrides) -> RunFn:
+    def run() -> Tuple[Dict[str, Union[int, float]], Fingerprint]:
+        result = run_experiment(ExperimentConfig(**overrides))
+        fingerprint = {
+            "completed": result.completed,
+            "total": result.total,
+            "timeouts": result.timeouts,
+            "drops": result.drops,
+            "marks": result.marks,
+            "sim_ns": result.sim_ns,
+        }
+        return dict(result.profile), fingerprint
+
+    return run
+
+
+SCENARIOS: Dict[str, Scenario] = {
+    scenario.name: scenario
+    for scenario in (
+        Scenario(
+            "engine_churn",
+            "event-loop schedule/cancel churn, no network objects",
+            _engine_churn,
+        ),
+        Scenario(
+            "port_saturation",
+            "one FIFO NIC at 0.9 load (single-queue bypass path)",
+            _experiment(
+                scheme="tcn",
+                scheduler="fifo",
+                n_queues=1,
+                workload="datamining",
+                load=0.9,
+                n_flows=30,
+                seed=11,
+            ),
+        ),
+        Scenario(
+            "incast",
+            "300 cache flows into one DWRR star port at 0.95 load",
+            _experiment(
+                scheme="tcn",
+                scheduler="dwrr",
+                workload="cache",
+                load=0.95,
+                n_flows=300,
+                seed=13,
+            ),
+        ),
+        Scenario(
+            "leafspine_slice",
+            "2x2 leaf-spine fabric, mixed workload through SP+DWRR",
+            _experiment(
+                scheme="tcn",
+                scheduler="sp_dwrr",
+                topology="leafspine",
+                workload="mixed",
+                load=0.6,
+                n_flows=120,
+                seed=3,
+            ),
+        ),
+    )
+}

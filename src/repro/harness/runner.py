@@ -325,6 +325,8 @@ def _wire_endpoints(
     from repro.units import MSS
     bdp_pkts = cfg.link_rate_bps * cfg.base_rtt_ns / (8 * MSS * SEC)
     max_cwnd = max(64.0, cfg.max_cwnd_bdp_factor * bdp_pkts)
+    base_ns = sim.now
+    starts = []
     for flow in flows:
         Receiver(sim, topo.hosts[flow.dst], flow, on_complete=collector.on_complete)
         sender = sender_cls(
@@ -338,10 +340,10 @@ def _wire_endpoints(
             max_cwnd=max_cwnd,
         )
         senders.append(sender)
-        if pool is None:
-            sim.schedule_at(flow.start_ns, sender.start)
-        else:
-            sim.schedule_at(flow.start_ns, _WarmStart(pool, sender))
+        start_cb = sender.start if pool is None else _WarmStart(pool, sender)
+        starts.append((flow.start_ns - base_ns, start_cb))
+    # one batched push for the whole arrival schedule
+    sim.schedule_many(starts)
     return senders
 
 

@@ -10,7 +10,7 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING, Callable, Dict
 
-from repro.net.packet import Packet, PacketKind
+from repro.net.packet import Packet, PacketKind, release
 from repro.net.port import EgressPort
 from repro.sim.engine import Simulator
 
@@ -55,7 +55,12 @@ class Host:
         self.nic.receive(pkt)
 
     def receive(self, pkt: Packet) -> None:
-        """Deliver a packet arriving from the network."""
+        """Deliver a packet arriving from the network.
+
+        The host is the packet's terminal hop: once the endpoint handler
+        returns, no queue, link or scheduler can still reference the
+        frame, so it is released to the packet freelist for reuse.
+        """
         kind = pkt.kind
         if kind == PacketKind.DATA:
             receiver = self._receivers.get(pkt.flow_id)
@@ -71,6 +76,7 @@ class Host:
             handler = self._probe_handlers.get(pkt.flow_id)
             if handler is not None:
                 handler(pkt)
+        release(pkt)
 
     def _echo_probe(self, probe: Packet) -> None:
         reply = Packet(

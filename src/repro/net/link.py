@@ -22,6 +22,12 @@ class Node(Protocol):
 class Link:
     """Connects an egress port to its downstream node.
 
+    The transmitting port schedules ``dst.receive`` directly via the
+    engine's argument-carrying fast path — delivery costs no per-packet
+    closure.  ``dst.receive`` is looked up at transmit time (not cached
+    here) so tests and instrumentation can substitute a node's
+    ``receive`` after wiring.
+
     >>> # a 10us one-way wire into some node
     >>> # Link(node, 10 * USEC)
     """

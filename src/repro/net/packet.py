@@ -7,11 +7,23 @@ the ECN-Echo (ECE) bit the receiver reflects back; probes model ping.
 ``enq_ts`` is the enqueue-time timestamp metadata that §4.2 of the paper
 describes attaching in hardware — the switch egress port stamps it on
 enqueue, and sojourn-time AQMs (TCN, CoDel, PIE) read it on dequeue.
+
+Allocation
+----------
+Packets are by far the most-allocated objects in a run (one per segment
+plus one per ACK), so the constructors route through a **freelist**:
+:meth:`~repro.net.host.Host.receive` releases a packet once it has been
+delivered to its endpoint (the single point at which no queue, link or
+scheduler can still reference it), and ``make_data``/``make_ack`` re-use
+released frames instead of allocating.  Reuse fully re-initialises every
+field, so it is invisible to the simulation — asserted by the trace
+determinism guard tests.
 """
 
 from __future__ import annotations
 
 from enum import IntEnum
+from typing import List, Tuple
 
 from repro.units import ACK_SIZE, HEADER, PROBE_SIZE
 
@@ -115,6 +127,51 @@ class Packet:
         )
 
 
+# -- freelist ------------------------------------------------------------
+
+#: released frames awaiting reuse (process-wide; the simulator is
+#: single-threaded and reset is total, so sharing across runs is safe)
+_free: List[Packet] = []
+#: bound on retained frames — beyond this, released packets are simply
+#: left to the garbage collector (covers pathological fan-in bursts)
+FREELIST_MAX = 8192
+# lifetime counters (read via freelist_stats; reset via reset_freelist)
+_allocated = 0
+_reused = 0
+
+
+def release(pkt: Packet) -> None:
+    """Return a dead frame to the freelist.
+
+    Only call this when nothing can reference the packet any more — in
+    practice, exactly once, from the delivery endpoint.  A released packet
+    must be treated as gone: the next ``make_data``/``make_ack`` may hand
+    it out again with every field rewritten.
+    """
+    free = _free
+    if len(free) < FREELIST_MAX:
+        free.append(pkt)
+
+
+def freelist_stats() -> Tuple[int, int, int]:
+    """``(allocated, reused, free)`` counters since the last reset.
+
+    ``allocated`` counts fresh ``Packet`` objects built by the ``make_*``
+    constructors; ``reused`` counts frames recycled from the freelist;
+    ``free`` is the current freelist depth.  The benchmark harness reports
+    the deltas of these around a run.
+    """
+    return _allocated, _reused, len(_free)
+
+
+def reset_freelist() -> None:
+    """Drop retained frames and zero the counters (test/bench isolation)."""
+    global _allocated, _reused
+    _free.clear()
+    _allocated = 0
+    _reused = 0
+
+
 def make_data(
     flow_id: int,
     src: int,
@@ -125,7 +182,29 @@ def make_data(
     dscp: int,
     ts: int,
 ) -> Packet:
-    """Build a data segment."""
+    """Build a data segment (recycling a released frame when possible)."""
+    global _allocated, _reused
+    free = _free
+    if free:
+        _reused += 1
+        pkt = free.pop()
+        pkt.flow_id = flow_id
+        pkt.src = src
+        pkt.dst = dst
+        pkt.kind = PacketKind.DATA
+        pkt.seq = seq
+        pkt.payload = payload
+        pkt.wire_size = payload + HEADER
+        pkt.ect = ect
+        pkt.ce = False
+        pkt.ece = False
+        pkt.dscp = dscp
+        pkt.ts = ts
+        pkt.ts_echo = 0
+        pkt.enq_ts = 0
+        pkt.is_retx = False
+        return pkt
+    _allocated += 1
     return Packet(
         flow_id, src, dst, PacketKind.DATA, seq=seq, payload=payload,
         ect=ect, dscp=dscp, ts=ts,
@@ -142,6 +221,28 @@ def make_ack(
     echo, as DCTCP requires), and echoes the sender timestamp for RTT
     estimation.
     """
+    global _allocated, _reused
+    free = _free
+    if free:
+        _reused += 1
+        pkt = free.pop()
+        pkt.flow_id = data.flow_id
+        pkt.src = data.dst
+        pkt.dst = data.src
+        pkt.kind = PacketKind.ACK
+        pkt.seq = ack
+        pkt.payload = 0
+        pkt.wire_size = ACK_SIZE
+        pkt.ect = ect
+        pkt.ce = False
+        pkt.ece = ece
+        pkt.dscp = data.dscp
+        pkt.ts = now
+        pkt.ts_echo = data.ts
+        pkt.enq_ts = 0
+        pkt.is_retx = False
+        return pkt
+    _allocated += 1
     pkt = Packet(
         data.flow_id, data.dst, data.src, PacketKind.ACK,
         seq=ack, ect=ect, dscp=data.dscp, ts=now,

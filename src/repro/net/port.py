@@ -29,11 +29,15 @@ from repro.net.link import Link
 from repro.net.packet import Packet
 from repro.net.queue import PacketQueue
 from repro.sched.base import Scheduler
+from repro.sched.fifo import FifoScheduler
 from repro.sim.engine import Simulator
 from repro.units import SEC
 
 if TYPE_CHECKING:  # pragma: no cover - annotation-only import (avoids cycle)
     from repro.aqm.base import Aqm
+
+#: nanoseconds-per-second times bits-per-byte — serialization constant
+_BITS_NS = 8 * SEC
 
 
 class PortStats:
@@ -84,6 +88,11 @@ class EgressPort:
         "occupancy_tracker",
         "tracer",
         "_qindex",
+        "_fifo",
+        "_tx_done_cb",
+        "_classify",
+        "_aqm_enq",
+        "_aqm_deq",
     )
 
     def __init__(
@@ -105,6 +114,8 @@ class EgressPort:
         self.aqm = aqm
         self.link = link
         self.classify = classify or (lambda pkt: 0)
+        # hot-path cache: None means "everything to queue 0", no call made
+        self._classify = classify
         self.occupancy = 0
         self.busy = False
         self.stats = PortStats()
@@ -118,8 +129,37 @@ class EgressPort:
         # schedulers rewrite queue.index to band-local values, so position
         # in scheduler.queues is the only trustworthy global identity.
         self._qindex = {id(q): i for i, q in enumerate(scheduler.queues)}
+        # Single-queue FIFO bypass: host NICs (the most numerous ports)
+        # run a plain FIFO, where the generic dequeue indirection buys
+        # nothing — _transmit pops the queue directly instead.
+        self._fifo = (
+            scheduler.queues[0] if type(scheduler) is FifoScheduler else None
+        )
+        self._tx_done_cb = self._tx_done  # bound once, scheduled per packet
+        # Hot-path AQM hook cache: a hook left as the Aqm base-class no-op
+        # is stored as None so the per-packet call is skipped entirely
+        # (e.g. TCN never looks at enqueue, queue-length ECN never at
+        # dequeue).  Instance-level hook overrides are still honoured —
+        # only methods literally inherited from Aqm are elided.
         if aqm is not None:
+            from repro.aqm.base import Aqm
+
+            enq = aqm.on_enqueue
+            deq = aqm.on_dequeue
+            self._aqm_enq = (
+                None
+                if getattr(enq, "__func__", None) is Aqm.on_enqueue
+                else enq
+            )
+            self._aqm_deq = (
+                None
+                if getattr(deq, "__func__", None) is Aqm.on_dequeue
+                else deq
+            )
             aqm.setup(self)
+        else:
+            self._aqm_enq = None
+            self._aqm_deq = None
 
     # -- ingress ---------------------------------------------------------
 
@@ -135,22 +175,32 @@ class EgressPort:
         stats.rx_pkts += 1
         size = pkt.wire_size
         stats.rx_bytes += size
-        qidx = self.classify(pkt)
+        classify = self._classify
+        qidx = classify(pkt) if classify is not None else 0
         if self.occupancy + size > self.buffer_bytes:
             self._drop(pkt, qidx, "buffer")
             return
-        if self.pool is not None and not self.pool.admit(size):
+        pool = self.pool
+        if pool is not None and not pool.admit(size):
             self._drop(pkt, qidx, "pool")
             return
-        queue = self.scheduler.queues[qidx]
+        scheduler = self.scheduler
+        queue = scheduler.queues[qidx]
         now = self.sim.now
         pkt.enq_ts = now
-        if self.aqm is not None and self.aqm.on_enqueue(self, queue, pkt, now):
+        aqm_enq = self._aqm_enq
+        if aqm_enq is not None and aqm_enq(self, queue, pkt, now):
             self._mark(pkt, queue, "enq")
         self.occupancy += size
-        if self.pool is not None:
-            self.pool.occupancy += size
-        self.scheduler.enqueue(pkt, qidx, now)
+        if pool is not None:
+            pool.occupancy += size
+        fifo = self._fifo
+        if fifo is not None:
+            # single-queue FIFO bypass (enqueue side): push directly
+            fifo.push(pkt)
+            scheduler.total_bytes += size
+        else:
+            scheduler.enqueue(pkt, qidx, now)
         if self.tracer is not None:
             self.tracer.enqueue(now, self.name, qidx, pkt)
         if self.occupancy_tracker is not None:
@@ -161,34 +211,49 @@ class EgressPort:
     # -- egress ----------------------------------------------------------
 
     def _transmit(self) -> None:
-        result = self.scheduler.dequeue(self.sim.now)
-        if result is None:
-            return
-        pkt, queue = result
-        now = self.sim.now
+        sim = self.sim
+        now = sim.now
+        fifo = self._fifo
+        if fifo is not None:
+            # single-queue FIFO bypass: skip the scheduler's dequeue
+            # indirection and its (packet, queue) tuple
+            if not fifo:
+                return
+            pkt = fifo.pop()
+            queue = fifo
+            self.scheduler.total_bytes -= pkt.wire_size
+        else:
+            result = self.scheduler.dequeue(now)
+            if result is None:
+                return
+            pkt, queue = result
         if self.tracer is not None:
             self.tracer.dequeue(
                 now, self.name, self._qindex[id(queue)], pkt, now - pkt.enq_ts
             )
-        if self.aqm is not None and self.aqm.on_dequeue(self, queue, pkt, now):
+        aqm_deq = self._aqm_deq
+        if aqm_deq is not None and aqm_deq(self, queue, pkt, now):
             self._mark(pkt, queue, "deq")
         size = pkt.wire_size
         self.occupancy -= size
-        if self.pool is not None:
-            self.pool.occupancy -= size
+        pool = self.pool
+        if pool is not None:
+            pool.occupancy -= size
         if self.occupancy_tracker is not None:
             self.occupancy_tracker(now, self.occupancy)
         self.busy = True
-        tx_ns = -(-size * 8 * SEC // self.rate_bps)
-        self.sim.schedule(tx_ns, self._tx_done)
-        if self.link is not None:
-            self.sim.schedule(tx_ns + self.link.delay_ns, _Delivery(self.link.dst, pkt))
-        self.stats.tx_pkts += 1
-        self.stats.tx_bytes += size
+        tx_ns = -(-size * _BITS_NS // self.rate_bps)
+        sim.schedule(tx_ns, self._tx_done_cb)
+        link = self.link
+        if link is not None:
+            sim.schedule_call(tx_ns + link.delay_ns, link.dst.receive, pkt)
+        stats = self.stats
+        stats.tx_pkts += 1
+        stats.tx_bytes += size
 
     def _tx_done(self) -> None:
         self.busy = False
-        if not self.scheduler.is_empty:
+        if self.scheduler.total_bytes:
             self._transmit()
 
     # -- helpers -----------------------------------------------------------
@@ -212,16 +277,3 @@ class EgressPort:
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"<EgressPort {self.name} {self.occupancy}B buffered>"
-
-
-class _Delivery:
-    """Pre-bound delivery callback — cheaper than a closure per packet."""
-
-    __slots__ = ("dst", "pkt")
-
-    def __init__(self, dst, pkt: Packet) -> None:
-        self.dst = dst
-        self.pkt = pkt
-
-    def __call__(self) -> None:
-        self.dst.receive(self.pkt)

@@ -39,7 +39,15 @@ class DwrrScheduler(Scheduler):
         self._last_turn_start: List[Optional[int]] = [None] * n
 
     def enqueue(self, pkt: Packet, qidx: int, now: int) -> None:
-        queue = self._account_enqueue(pkt, qidx)
+        # inlined PacketQueue.push + byte accounting (hot path)
+        queue = self.queues[qidx]
+        queue._pkts.append(pkt)
+        size = pkt.wire_size
+        queue.bytes = qbytes = queue.bytes + size
+        queue.enqueued_pkts += 1
+        if qbytes > queue.max_bytes_seen:
+            queue.max_bytes_seen = qbytes
+        self.total_bytes += size
         if not self._in_active[qidx]:
             self._active.append(queue)
             self._in_active[qidx] = True
@@ -51,27 +59,34 @@ class DwrrScheduler(Scheduler):
 
     def dequeue(self, now: int) -> Optional[Tuple[Packet, PacketQueue]]:
         active = self._active
+        deficit = self._deficit
+        refresh = self._needs_refresh
         while active:
             queue = active[0]
             idx = queue.index
-            if self._needs_refresh[idx]:
+            if refresh[idx]:
                 self._start_turn(queue, now)
-            head = queue.head()
-            assert head is not None  # active queues are never empty
-            if head.wire_size <= self._deficit[idx]:
-                self._deficit[idx] -= head.wire_size
-                pkt = self._account_dequeue(queue)
+            # active queues are never empty; direct head peek (hot path)
+            head_size = queue._pkts[0].wire_size
+            if head_size <= deficit[idx]:
+                deficit[idx] -= head_size
+                # inlined PacketQueue.pop + byte accounting (hot path)
+                pkt = queue._pkts.popleft()
+                queue.bytes -= head_size
+                queue.dequeued_pkts += 1
+                queue.dequeued_bytes += head_size
+                self.total_bytes -= head_size
                 if not queue:
                     active.popleft()
                     self._in_active[idx] = False
-                    self._deficit[idx] = 0
-                    self._needs_refresh[idx] = True
+                    deficit[idx] = 0
+                    refresh[idx] = True
                 return pkt, queue
             # Deficit exhausted: rotate to the tail; the next visit starts a
             # new service turn (and earns a new quantum).
             active.popleft()
             active.append(queue)
-            self._needs_refresh[idx] = True
+            refresh[idx] = True
         return None
 
     def _start_turn(self, queue: PacketQueue, now: int) -> None:

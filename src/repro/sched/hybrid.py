@@ -41,15 +41,30 @@ class _SpOverScheduler(Scheduler):
 
     def enqueue(self, pkt: Packet, qidx: int, now: int) -> None:
         if qidx < self._n_high:
-            self._account_enqueue(pkt, qidx)
+            # inlined PacketQueue.push + byte accounting (hot path)
+            queue = self.queues[qidx]
+            queue._pkts.append(pkt)
+            size = pkt.wire_size
+            queue.bytes = qbytes = queue.bytes + size
+            queue.enqueued_pkts += 1
+            if qbytes > queue.max_bytes_seen:
+                queue.max_bytes_seen = qbytes
+            self.total_bytes += size
         else:
             self.total_bytes += pkt.wire_size
             self._low.enqueue(pkt, qidx - self._n_high, now)
 
     def dequeue(self, now: int) -> Optional[Tuple[Packet, PacketQueue]]:
         for queue in self._high:
-            if queue:
-                return self._account_dequeue(queue), queue
+            if queue._pkts:
+                # inlined PacketQueue.pop + byte accounting (hot path)
+                pkt = queue._pkts.popleft()
+                size = pkt.wire_size
+                queue.bytes -= size
+                queue.dequeued_pkts += 1
+                queue.dequeued_bytes += size
+                self.total_bytes -= size
+                return pkt, queue
         result = self._low.dequeue(now)
         if result is None:
             return None
@@ -71,12 +86,98 @@ def _reindex(queues: List[PacketQueue]) -> List[PacketQueue]:
 
 
 class SpDwrrScheduler(_SpOverScheduler):
-    """Strict priority queues over a DWRR low band (paper's SP/DWRR)."""
+    """Strict priority queues over a DWRR low band (paper's SP/DWRR).
+
+    This is the fabric scheduler of the paper-scale leaf-spine runs, so
+    unlike its WFQ sibling it does not take the generic delegation path:
+    ``enqueue``/``dequeue`` below flatten the high-band check and the
+    DWRR rotation into single methods operating on the band's state
+    directly (one Python frame per packet instead of three).  The
+    behaviour is identical to ``_SpOverScheduler`` over ``DwrrScheduler``
+    — the scheduler-equivalence tests hold both to the same reference
+    model.
+    """
 
     supports_rounds = True  # rounds exist within the DWRR band
 
     def _make_low(self, low_queues: List[PacketQueue], n_high: int) -> Scheduler:
         return DwrrScheduler(_reindex(low_queues))
+
+    def enqueue(self, pkt: Packet, qidx: int, now: int) -> None:
+        size = pkt.wire_size
+        n_high = self._n_high
+        if qidx < n_high:
+            queue = self.queues[qidx]
+        else:
+            low = self._low
+            queue = low.queues[qidx - n_high]
+            lidx = queue.index
+            low.total_bytes += size
+            if not low._in_active[lidx]:
+                low._active.append(queue)
+                low._in_active[lidx] = True
+                low._deficit[lidx] = 0
+                low._needs_refresh[lidx] = True
+                low._last_turn_start[lidx] = None
+        # inlined PacketQueue.push + byte accounting (hot path)
+        queue._pkts.append(pkt)
+        queue.bytes = qbytes = queue.bytes + size
+        queue.enqueued_pkts += 1
+        if qbytes > queue.max_bytes_seen:
+            queue.max_bytes_seen = qbytes
+        self.total_bytes += size
+
+    def dequeue(self, now: int) -> Optional[Tuple[Packet, PacketQueue]]:
+        for queue in self._high:
+            if queue._pkts:
+                # inlined PacketQueue.pop + byte accounting (hot path)
+                pkt = queue._pkts.popleft()
+                size = pkt.wire_size
+                queue.bytes -= size
+                queue.dequeued_pkts += 1
+                queue.dequeued_bytes += size
+                self.total_bytes -= size
+                return pkt, queue
+        low = self._low
+        active = low._active
+        deficit = low._deficit
+        refresh = low._needs_refresh
+        while active:
+            queue = active[0]
+            idx = queue.index
+            if refresh[idx]:
+                # inlined DwrrScheduler._start_turn (hot path)
+                last = low._last_turn_start[idx]
+                observer = low.round_observer
+                if (
+                    last is not None
+                    and observer is not None
+                    and now > last
+                ):
+                    observer(queue, now - last, now)
+                low._last_turn_start[idx] = now
+                deficit[idx] += queue.quantum
+                refresh[idx] = False
+            head_size = queue._pkts[0].wire_size
+            if head_size <= deficit[idx]:
+                deficit[idx] -= head_size
+                # inlined PacketQueue.pop + byte accounting (hot path)
+                pkt = queue._pkts.popleft()
+                queue.bytes -= head_size
+                queue.dequeued_pkts += 1
+                queue.dequeued_bytes += head_size
+                low.total_bytes -= head_size
+                self.total_bytes -= head_size
+                if not queue._pkts:
+                    active.popleft()
+                    low._in_active[idx] = False
+                    deficit[idx] = 0
+                    refresh[idx] = True
+                return pkt, queue
+            active.popleft()
+            active.append(queue)
+            refresh[idx] = True
+        return None
 
     @property
     def round_observer(self):  # type: ignore[override]

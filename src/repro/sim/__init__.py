@@ -1,6 +1,6 @@
 """Discrete-event simulation core: the event heap and seeded RNG streams."""
 
-from repro.sim.engine import Event, Simulator
+from repro.sim.engine import EventHandle, Simulator
 from repro.sim.rng import RngFactory
 
-__all__ = ["Event", "Simulator", "RngFactory"]
+__all__ = ["EventHandle", "Simulator", "RngFactory"]

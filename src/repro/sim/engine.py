@@ -1,18 +1,27 @@
 """A small, fast discrete-event engine.
 
-The engine is a classic binary-heap event loop.  It is deliberately minimal:
-an :class:`Event` is a time plus a callback, events at the same timestamp
-fire in scheduling order (a monotonically increasing sequence number breaks
-ties), and cancellation is done lazily by flagging the event so the heap
-never needs re-organising.
+The engine is a classic binary-heap event loop tuned for CPython: a
+scheduled callback is stored as a plain ``(time, seq, fn)`` tuple (or
+``(time, seq, fn, arg)`` for the argument-carrying fast path), so every
+heap sift compares machine integers in C — no ``Event`` object is
+allocated and no Python-level ``__lt__`` ever runs.  Events at the same
+timestamp fire in scheduling order (the monotonically increasing ``seq``
+breaks ties, and because it is unique the comparison never reaches the
+callback slot, which is why mixed 3- and 4-tuples can share the heap).
+
+Cancellation is handle-based and lazy: ``schedule`` returns the pushed
+tuple as an opaque handle, and :meth:`Simulator.cancel` records its
+sequence number in a side set that the run loop consults (and drains)
+when the entry surfaces.  The heap never needs re-organising, and the
+common case — no cancellation outstanding — costs one truthiness check
+per event.
 
 Design notes
 ------------
 * Time is an **integer nanosecond** count (see :mod:`repro.units`), so there
   are no floating-point ordering surprises and runs are bit-reproducible.
-* Callbacks receive no arguments; closures or ``functools.partial`` bind
-  whatever state they need.  This keeps the per-event overhead to one tuple
-  and one call.
+* Callbacks receive no arguments; closures, ``functools.partial`` or the
+  ``schedule_call`` fast path bind whatever state they need.
 * The engine knows nothing about packets or networks; everything above it
   (links, queues, transports) is built from ``schedule`` calls.
 """
@@ -20,36 +29,13 @@ Design notes
 from __future__ import annotations
 
 import heapq
-from typing import Callable, List, Optional
+from typing import Callable, Iterable, List, Optional, Tuple
 
-
-class Event:
-    """A scheduled callback.  Returned by :meth:`Simulator.schedule`.
-
-    Holding on to the returned event allows cancellation (used for
-    retransmission timers).  Events are single-shot.
-    """
-
-    __slots__ = ("time", "seq", "fn", "cancelled")
-
-    def __init__(self, time: int, seq: int, fn: Callable[[], None]):
-        self.time = time
-        self.seq = seq
-        self.fn = fn
-        self.cancelled = False
-
-    def cancel(self) -> None:
-        """Mark the event so it will be skipped when popped."""
-        self.cancelled = True
-
-    def __lt__(self, other: "Event") -> bool:
-        if self.time != other.time:
-            return self.time < other.time
-        return self.seq < other.seq
-
-    def __repr__(self) -> str:  # pragma: no cover - debugging aid
-        state = " cancelled" if self.cancelled else ""
-        return f"<Event t={self.time} seq={self.seq}{state}>"
+#: The opaque handle returned by ``schedule``/``schedule_at``/``schedule_call``
+#: — the heap entry itself.  ``handle[0]`` is the absolute fire time (ns);
+#: treat everything else as private and pass the handle to
+#: :meth:`Simulator.cancel` to cancel it.
+EventHandle = tuple
 
 
 class Simulator:
@@ -64,12 +50,22 @@ class Simulator:
     [100]
     """
 
-    __slots__ = ("now", "_heap", "_seq", "_running", "events_executed", "heap_hwm")
+    __slots__ = (
+        "now",
+        "_heap",
+        "_seq",
+        "_cancelled",
+        "_running",
+        "events_executed",
+        "heap_hwm",
+    )
 
     def __init__(self) -> None:
         self.now: int = 0
-        self._heap: List[Event] = []
+        self._heap: List[tuple] = []
         self._seq: int = 0
+        #: seqs of heap entries cancelled but not yet popped (lazy deletion)
+        self._cancelled: set = set()
         self._running = False
         #: lifetime count of executed (non-cancelled) events — profiling
         self.events_executed: int = 0
@@ -78,24 +74,80 @@ class Simulator:
 
     # -- scheduling -----------------------------------------------------
 
-    def schedule(self, delay_ns: int, fn: Callable[[], None]) -> Event:
-        """Schedule ``fn`` to run ``delay_ns`` nanoseconds from now."""
+    def schedule(self, delay_ns: int, fn: Callable[[], None]) -> EventHandle:
+        """Schedule ``fn`` to run ``delay_ns`` nanoseconds from now.
+
+        Returns a handle usable with :meth:`cancel`.
+        """
         if delay_ns < 0:
             raise ValueError(f"cannot schedule in the past (delay={delay_ns})")
-        return self.schedule_at(self.now + delay_ns, fn)
+        self._seq = seq = self._seq + 1
+        entry = (self.now + delay_ns, seq, fn)
+        heap = self._heap
+        heapq.heappush(heap, entry)
+        if len(heap) > self.heap_hwm:
+            self.heap_hwm = len(heap)
+        return entry
 
-    def schedule_at(self, time_ns: int, fn: Callable[[], None]) -> Event:
+    def schedule_at(self, time_ns: int, fn: Callable[[], None]) -> EventHandle:
         """Schedule ``fn`` at absolute time ``time_ns``."""
         if time_ns < self.now:
             raise ValueError(
                 f"cannot schedule at {time_ns} before now ({self.now})"
             )
-        self._seq += 1
-        ev = Event(time_ns, self._seq, fn)
-        heapq.heappush(self._heap, ev)
-        if len(self._heap) > self.heap_hwm:
-            self.heap_hwm = len(self._heap)
-        return ev
+        self._seq = seq = self._seq + 1
+        entry = (time_ns, seq, fn)
+        heap = self._heap
+        heapq.heappush(heap, entry)
+        if len(heap) > self.heap_hwm:
+            self.heap_hwm = len(heap)
+        return entry
+
+    def schedule_call(self, delay_ns: int, fn: Callable, arg) -> EventHandle:
+        """Hot-path scheduling: ``fn(arg)`` in ``delay_ns`` nanoseconds.
+
+        This is the monotonic fast path used by ports and links: the delay
+        is trusted to be non-negative (serialization and propagation delays
+        are by construction), and the single argument rides in the heap
+        entry itself, so no closure or callable wrapper is allocated per
+        event.  ``fn`` must accept exactly one positional argument.
+        """
+        self._seq = seq = self._seq + 1
+        entry = (self.now + delay_ns, seq, fn, arg)
+        heap = self._heap
+        heapq.heappush(heap, entry)
+        if len(heap) > self.heap_hwm:
+            self.heap_hwm = len(heap)
+        return entry
+
+    def schedule_many(
+        self, items: Iterable[Tuple[int, Callable[[], None]]]
+    ) -> None:
+        """Batch-schedule ``(delay_ns, fn)`` pairs in one call.
+
+        Amortizes attribute lookups and the high-water-mark update across
+        the batch; no handles are returned, so batched events cannot be
+        cancelled.  Delays are trusted to be non-negative.
+        """
+        now = self.now
+        heap = self._heap
+        seq = self._seq
+        push = heapq.heappush
+        for delay_ns, fn in items:
+            seq += 1
+            push(heap, (now + delay_ns, seq, fn))
+        self._seq = seq
+        if len(heap) > self.heap_hwm:
+            self.heap_hwm = len(heap)
+
+    def cancel(self, handle: EventHandle) -> None:
+        """Cancel a scheduled event (lazy: skipped when popped).
+
+        Cancelling an event that has already fired is a harmless no-op in
+        practice — the stale sequence number simply sits in the side set —
+        but callers should not rely on that as a pattern.
+        """
+        self._cancelled.add(handle[1])
 
     # -- execution ------------------------------------------------------
 
@@ -111,20 +163,30 @@ class Simulator:
         """
         heap = self._heap
         pop = heapq.heappop
+        cancelled = self._cancelled
+        # hoist the stop conditions out of the loop: compare against
+        # sentinels instead of re-testing `is not None` per event
+        until_bound = float("inf") if until is None else until
+        budget = float("inf") if max_events is None else max_events
         executed = 0
         self._running = True
         try:
             while heap:
-                ev = heap[0]
-                if until is not None and ev.time > until:
+                entry = heap[0]
+                time = entry[0]
+                if time > until_bound:
                     break
                 pop(heap)
-                if ev.cancelled:
+                if cancelled and entry[1] in cancelled:
+                    cancelled.discard(entry[1])
                     continue
-                self.now = ev.time
-                ev.fn()
+                self.now = time
+                if len(entry) == 3:
+                    entry[2]()
+                else:
+                    entry[2](entry[3])
                 executed += 1
-                if max_events is not None and executed >= max_events:
+                if executed >= budget:
                     break
         finally:
             self._running = False
@@ -141,37 +203,50 @@ class Simulator:
         Returns ``False`` when no event remains.
         """
         heap = self._heap
+        cancelled = self._cancelled
         while heap:
-            ev = heapq.heappop(heap)
-            if ev.cancelled:
+            entry = heapq.heappop(heap)
+            if cancelled and entry[1] in cancelled:
+                cancelled.discard(entry[1])
                 continue
-            self.now = ev.time
-            ev.fn()
+            self.now = entry[0]
+            if len(entry) == 3:
+                entry[2]()
+            else:
+                entry[2](entry[3])
             self.events_executed += 1
             return True
         return False
 
     def peek_time(self) -> Optional[int]:
-        """Timestamp of the next pending event, or ``None`` if idle."""
+        """Timestamp of the next pending event, or ``None`` if idle.
+
+        Compacts cancelled entries off the heap top as a side effect (the
+        lazy-deletion mechanic); the answer is unaffected, and the heap
+        high-water mark can only have been set at push time, so profiling
+        counters are not perturbed.
+        """
         heap = self._heap
-        while heap and heap[0].cancelled:
+        cancelled = self._cancelled
+        while heap and cancelled and heap[0][1] in cancelled:
+            cancelled.discard(heap[0][1])
             heapq.heappop(heap)
-        return heap[0].time if heap else None
+        return heap[0][0] if heap else None
 
     @property
     def pending(self) -> int:
         """Number of live (non-cancelled) events still scheduled.
 
+        Purely a read: unlike :meth:`peek_time`, this never compacts the
+        heap, so profiling or debugging reads cannot perturb engine state.
         Cancelled events linger in the heap until popped (cancellation is
-        lazy), so this compacts cancelled heads and skips cancelled
-        entries when counting — callers polling "is the sim idle?" must
-        not see phantom work.  O(n) in heap size; for a boolean check
-        prefer :attr:`idle`.
+        lazy) and are excluded from the count.  O(n) in heap size; for a
+        boolean check prefer :attr:`idle`.
         """
-        heap = self._heap
-        while heap and heap[0].cancelled:
-            heapq.heappop(heap)
-        return sum(1 for ev in heap if not ev.cancelled)
+        cancelled = self._cancelled
+        if not cancelled:
+            return len(self._heap)
+        return sum(1 for entry in self._heap if entry[1] not in cancelled)
 
     @property
     def idle(self) -> bool:

@@ -136,12 +136,23 @@ class LeafSpineTopology:
         return ((flow_id + self.ecmp_salt) * _HASH_MULT & 0xFFFFFFFF) % self.n_spine
 
     def _make_leaf_router(self, leaf_id: int, leaf: Switch):
+        # Everything the per-packet decision needs is bound as closure
+        # locals: the router runs for every packet crossing the leaf, so
+        # it must not chase attributes or call helper methods.  The
+        # arithmetic mirrors ecmp_spine() exactly.
         uplinks = self._uplinks[leaf_id]
+        hosts_per_leaf = self.hosts_per_leaf
+        n_spine = self.n_spine
+        salt = self.ecmp_salt
+        dst_table = leaf._dst_table
 
         def route(pkt: Packet) -> EgressPort:
-            if self.leaf_of(pkt.dst) == leaf_id:
-                return leaf._dst_table[pkt.dst]
-            return uplinks[self.ecmp_spine(pkt.flow_id)]
+            dst = pkt.dst
+            if dst // hosts_per_leaf == leaf_id:
+                return dst_table[dst]
+            return uplinks[
+                ((pkt.flow_id + salt) * _HASH_MULT & 0xFFFFFFFF) % n_spine
+            ]
 
         return route
 

@@ -17,7 +17,7 @@ from typing import Callable, Optional
 
 from repro.net.host import Host
 from repro.net.packet import Packet, make_data
-from repro.sim.engine import Event, Simulator
+from repro.sim.engine import Simulator
 from repro.transport.flow import Flow
 from repro.units import MSEC, MSS, SEC
 
@@ -88,14 +88,23 @@ class SenderBase:
         self.rto_ns = init_rto_ns if init_rto_ns is not None else min_rto_ns
         self._base_rto_ns = self.rto_ns
         self._backoff = 1
-        self._rto_event: Optional[Event] = None
+        # Lazy RTO timer: ``_rto_deadline`` is the authoritative expiry
+        # (None = disarmed); ``_rto_tick_at`` is the fire time of the
+        # earliest tick event in the heap (None = no tick in flight).
+        # Re-arming just moves the deadline — the in-flight tick checks it
+        # when it fires and reschedules itself — so the heap holds one
+        # live entry per sender instead of one cancelled entry per ACK.
+        self._rto_deadline: Optional[int] = None
+        self._rto_tick_at: Optional[int] = None
         # once-per-window ECN reaction boundary (segment index)
         self._cut_end = 0
         # application pacing: an app-limited flow (e.g. the paper's
         # "500 Mbps TCP flow" in Fig. 5) releases data at this rate rather
         # than as fast as the window allows
         self.app_rate_bps = app_rate_bps
-        self._app_event: Optional[Event] = None
+        # True while a token-release tick is in the heap; the tick checks
+        # ``done`` at fire time, so completion never needs to cancel it.
+        self._app_tick = False
         self._app_tokens = 1.0       # segments the app has made available
         self._app_refill_ns = 0      # last token refill time
         self._app_bucket = max(init_cwnd, 10.0)  # max burst (segments)
@@ -115,10 +124,7 @@ class SenderBase:
 
     def _complete(self) -> None:
         self.done = True
-        self._cancel_rto()
-        if self._app_event is not None:
-            self._app_event.cancel()
-            self._app_event = None
+        self._disarm_rto()
         if self.on_done is not None:
             self.on_done(self)
 
@@ -145,12 +151,13 @@ class SenderBase:
             self._transmit(self.snd_nxt)
             self.snd_nxt += 1
         self._window_limited = self.snd_nxt - self.snd_una >= wnd
-        if app_starved and self._app_event is None:
+        if app_starved and not self._app_tick:
             # wake when the next segment's worth of tokens has accrued
             deficit = 1.0 - self._app_tokens
             delay = int(deficit * MSS * 8 * SEC / self.app_rate_bps) + 1
-            self._app_event = self.sim.schedule(delay, self._on_app_release)
-        if self._rto_event is None and self.snd_una < flow.npkts:
+            self._app_tick = True
+            self.sim.schedule(delay, self._on_app_release)
+        if self._rto_deadline is None and self.snd_una < flow.npkts:
             self._arm_rto()
 
     def _refill_app_tokens(self) -> None:
@@ -164,7 +171,7 @@ class SenderBase:
         self._app_refill_ns = now
 
     def _on_app_release(self) -> None:
-        self._app_event = None
+        self._app_tick = False
         if not self.done:
             self._send_window()
 
@@ -288,17 +295,51 @@ class SenderBase:
         self._base_rto_ns = max(self.min_rto_ns, min(rto, self.max_rto_ns))
 
     def _arm_rto(self) -> None:
-        self._cancel_rto()
-        self.rto_ns = min(self._base_rto_ns * self._backoff, self.max_rto_ns)
-        self._rto_event = self.sim.schedule(self.rto_ns, self._on_timeout)
+        """(Re)start the retransmission timer: deadline = now + RTO.
 
-    def _cancel_rto(self) -> None:
-        if self._rto_event is not None:
-            self._rto_event.cancel()
-            self._rto_event = None
+        Called on every ACK, so it must be cheap: it updates the deadline
+        integer and only touches the heap when no tick is in flight (or,
+        rarely, when the new deadline is *earlier* than the in-flight tick
+        — an RTO estimate that shrank below the outstanding tick).
+        """
+        self.rto_ns = rto_ns = min(
+            self._base_rto_ns * self._backoff, self.max_rto_ns
+        )
+        deadline = self.sim.now + rto_ns
+        self._rto_deadline = deadline
+        tick_at = self._rto_tick_at
+        if tick_at is None or deadline < tick_at:
+            self._rto_tick_at = deadline
+            self.sim.schedule(rto_ns, self._rto_tick)
+
+    def _disarm_rto(self) -> None:
+        """Stop the timer; any in-flight tick self-cleans at fire time."""
+        self._rto_deadline = None
+
+    def _rto_tick(self) -> None:
+        """Deadline check at tick time: expire, re-arm, or stand down.
+
+        A tick that fires before the (since-moved) deadline re-schedules
+        itself at the current deadline — unless an earlier tick is already
+        in flight and owns that duty.  A tick firing with the timer
+        disarmed (flow done, or everything ACKed) simply evaporates.
+        """
+        deadline = self._rto_deadline
+        now = self.sim.now
+        tick_at = self._rto_tick_at
+        if deadline is None or self.done:
+            if tick_at is not None and tick_at <= now:
+                self._rto_tick_at = None
+            return
+        if now < deadline:
+            if tick_at is None or tick_at <= now:
+                self._rto_tick_at = deadline
+                self.sim.schedule(deadline - now, self._rto_tick)
+            return
+        self._rto_tick_at = None
+        self._on_timeout()
 
     def _on_timeout(self) -> None:
-        self._rto_event = None
         if self.done:
             return
         self.stats.timeouts += 1

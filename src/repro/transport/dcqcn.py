@@ -27,7 +27,7 @@ from __future__ import annotations
 from typing import Optional
 
 from repro.net.host import Host
-from repro.sim.engine import Event, Simulator
+from repro.sim.engine import Simulator
 from repro.transport.base import SenderBase, Tagger
 from repro.transport.flow import Flow
 from repro.units import MSEC, MSS, SEC, USEC
@@ -81,7 +81,9 @@ class DcqcnSender(SenderBase):
         self._marked_since_alpha_timer = False
         self._cut_since_rate_timer = False
         self._fr_count = 0
-        self._pace_event: Optional[Event] = None
+        # True while a pacing tick is in the heap; the tick checks ``done``
+        # at fire time (lazy timer — completion never cancels it).
+        self._pace_tick = False
         self._timers_started = False
 
     # -- pacing ----------------------------------------------------------
@@ -98,13 +100,13 @@ class DcqcnSender(SenderBase):
         # Under pacing, new transmissions happen only on the pace timer;
         # recovery retransmissions (timeout path) reset snd_nxt and the
         # pacer picks them up.
-        if self._pace_event is None and not self.done:
+        if not self._pace_tick and not self.done:
             self._pace_next()
-        if self._rto_event is None and self.snd_una < self.flow.npkts:
+        if self._rto_deadline is None and self.snd_una < self.flow.npkts:
             self._arm_rto()
 
     def _pace_next(self) -> None:
-        self._pace_event = None
+        self._pace_tick = False
         if self.done:
             return
         flow = self.flow
@@ -112,8 +114,9 @@ class DcqcnSender(SenderBase):
             self._transmit(self.snd_nxt, is_retx=self.snd_nxt < self._hwm())
             self.snd_nxt += 1
             gap_ns = int(MSS * 8 * SEC / max(self.rc_bps, self.min_rate_bps))
-            self._pace_event = self.sim.schedule(max(gap_ns, 1), self._pace_next)
-        if self._rto_event is None and self.snd_una < flow.npkts:
+            self._pace_tick = True
+            self.sim.schedule(max(gap_ns, 1), self._pace_next)
+        if self._rto_deadline is None and self.snd_una < flow.npkts:
             self._arm_rto()
 
     def _hwm(self) -> int:
@@ -173,9 +176,7 @@ class DcqcnSender(SenderBase):
         pass  # rate-controlled: the window never throttles
 
     def _complete(self) -> None:
-        if self._pace_event is not None:
-            self._pace_event.cancel()
-            self._pace_event = None
+        # the in-flight pace tick (if any) sees ``done`` and stands down
         super()._complete()
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

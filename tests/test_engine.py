@@ -64,30 +64,87 @@ class TestScheduling:
         sim.run()
         assert fired == [0]
 
+    def test_schedule_call_passes_argument(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule_call(10, fired.append, "a")
+        sim.schedule_call(5, fired.append, "b")
+        sim.run()
+        assert fired == ["b", "a"]
+
+    def test_schedule_call_interleaves_with_schedule(self):
+        # 3-tuple and 4-tuple heap entries coexist; seq breaks all ties,
+        # so heapq never compares the callable slots.
+        sim = Simulator()
+        fired = []
+        sim.schedule(10, lambda: fired.append("plain"))
+        sim.schedule_call(10, fired.append, "arg")
+        sim.schedule(10, lambda: fired.append("plain2"))
+        sim.run()
+        assert fired == ["plain", "arg", "plain2"]
+
+    def test_schedule_many_preserves_order(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule_many(
+            [
+                (30, lambda: fired.append(30)),
+                (10, lambda: fired.append(10)),
+                (20, lambda: fired.append(20)),
+            ]
+        )
+        sim.run()
+        assert fired == [10, 20, 30]
+
+    def test_schedule_many_ties_fire_in_list_order(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule_many([(5, lambda i=i: fired.append(i)) for i in range(8)])
+        sim.run()
+        assert fired == list(range(8))
+
 
 class TestCancellation:
     def test_cancelled_event_does_not_fire(self):
         sim = Simulator()
         fired = []
         ev = sim.schedule(10, lambda: fired.append(1))
-        ev.cancel()
+        sim.cancel(ev)
         sim.run()
         assert fired == []
 
     def test_cancel_is_idempotent(self):
         sim = Simulator()
         ev = sim.schedule(10, lambda: None)
-        ev.cancel()
-        ev.cancel()
+        sim.cancel(ev)
+        sim.cancel(ev)
         assert sim.run() == 0
 
     def test_cancel_one_of_many(self):
         sim = Simulator()
         fired = []
         evs = [sim.schedule(i, lambda i=i: fired.append(i)) for i in range(5)]
-        evs[2].cancel()
+        sim.cancel(evs[2])
         sim.run()
         assert fired == [0, 1, 3, 4]
+
+    def test_cancel_schedule_call_handle(self):
+        sim = Simulator()
+        fired = []
+        ev = sim.schedule_call(10, fired.append, 1)
+        sim.schedule_call(20, fired.append, 2)
+        sim.cancel(ev)
+        sim.run()
+        assert fired == [2]
+
+    def test_cancelled_events_not_counted_as_executed(self):
+        sim = Simulator()
+        keep = sim.schedule(10, lambda: None)
+        drop = sim.schedule(20, lambda: None)
+        sim.cancel(drop)
+        assert sim.run() == 1
+        assert sim.events_executed == 1
+        assert keep  # the handle itself is a plain truthy tuple
 
 
 class TestRunBounds:
@@ -168,7 +225,7 @@ class TestRunBounds:
         sim = Simulator()
         sim.schedule(10, lambda: None)
         ev = sim.schedule(50, lambda: None)
-        ev.cancel()
+        sim.cancel(ev)
         sim.run(until=100, max_events=1)
         assert sim.now == 100
 
@@ -189,7 +246,7 @@ class TestStepAndPeek:
         sim = Simulator()
         ev = sim.schedule(5, lambda: None)
         sim.schedule(9, lambda: None)
-        ev.cancel()
+        sim.cancel(ev)
         assert sim.peek_time() == 9
 
     def test_peek_empty_is_none(self):
@@ -207,28 +264,66 @@ class TestPendingAndIdle:
         """Regression: lazily-cancelled events must not count as work."""
         sim = Simulator()
         evs = [sim.schedule(i + 1, lambda: None) for i in range(5)]
-        evs[0].cancel()
-        evs[3].cancel()
+        sim.cancel(evs[0])
+        sim.cancel(evs[3])
         assert sim.pending == 3
 
     def test_pending_zero_when_all_cancelled(self):
         sim = Simulator()
         evs = [sim.schedule(i + 1, lambda: None) for i in range(3)]
         for ev in evs:
-            ev.cancel()
+            sim.cancel(ev)
         assert sim.pending == 0
         assert sim.idle
+
+    def test_pending_is_side_effect_free(self):
+        """`pending` is a pure observer: reading it must not reorder or
+        compact the heap, so interleaved reads never perturb execution."""
+        sim = Simulator()
+        fired = []
+        evs = [sim.schedule(i + 1, lambda i=i: fired.append(i)) for i in range(6)]
+        sim.cancel(evs[0])
+        sim.cancel(evs[2])
+        before = list(sim._heap)
+        assert sim.pending == 4
+        assert sim.pending == 4  # repeated reads agree
+        assert list(sim._heap) == before  # heap untouched
+        sim.run()
+        assert fired == [1, 3, 4, 5]
 
     def test_idle_lifecycle(self):
         sim = Simulator()
         assert sim.idle
         ev = sim.schedule(5, lambda: None)
         assert not sim.idle
-        ev.cancel()
+        sim.cancel(ev)
         assert sim.idle
         sim.schedule(7, lambda: None)
         sim.run()
         assert sim.idle
+
+
+class TestCounters:
+    def test_heap_hwm_tracks_peak_outstanding(self):
+        sim = Simulator()
+        for i in range(5):
+            sim.schedule(i + 1, lambda: None)
+        assert sim.heap_hwm == 5
+        sim.run()
+        assert sim.heap_hwm == 5  # high-water mark, not current size
+
+    def test_heap_hwm_counts_schedule_many_batch(self):
+        sim = Simulator()
+        sim.schedule_many([(i + 1, lambda: None) for i in range(7)])
+        assert sim.heap_hwm == 7
+
+    def test_events_executed_accumulates_across_runs(self):
+        sim = Simulator()
+        sim.schedule(1, lambda: None)
+        sim.run()
+        sim.schedule(1, lambda: None)
+        sim.run()
+        assert sim.events_executed == 2
 
 
 @given(st.lists(st.integers(min_value=0, max_value=10_000), min_size=1, max_size=200))
@@ -241,3 +336,26 @@ def test_property_events_fire_in_nondecreasing_time(delays):
     sim.run()
     assert times == sorted(times)
     assert len(times) == len(delays)
+
+
+@given(
+    st.lists(
+        st.tuples(st.integers(min_value=0, max_value=1_000), st.booleans()),
+        min_size=1,
+        max_size=100,
+    )
+)
+def test_property_cancelled_subset_never_fires(plan):
+    """Exactly the non-cancelled events fire, in time order."""
+    sim = Simulator()
+    fired = []
+    expected = []
+    for i, (delay, cancelled) in enumerate(plan):
+        ev = sim.schedule(delay, lambda i=i: fired.append(i))
+        if cancelled:
+            sim.cancel(ev)
+        else:
+            expected.append((delay, i))
+    sim.run()
+    expected.sort()
+    assert fired == [i for _, i in expected]

@@ -1,0 +1,80 @@
+"""RTO timer churn: the event heap must scale with flows, not packets.
+
+Before the lazy-timer rework, every ACK cancelled and re-pushed the
+sender's RTO event, leaving one tombstone per ACK in the heap until its
+(far-future) deadline surfaced — the heap high-water mark grew with the
+packet count.  A lazy deadline-checked timer keeps at most one live tick
+per sender, so the high-water mark is O(flows).  These tests pin that.
+"""
+
+from repro.harness.config import ExperimentConfig
+from repro.harness.runner import run_experiment
+from repro.net.host import Host
+from repro.net.link import Link
+from repro.net.nic import make_nic
+from repro.sim.engine import Simulator
+from repro.transport.dctcp import DctcpSender
+from repro.transport.flow import Flow
+from repro.transport.receiver import Receiver
+from repro.units import GBPS, KB, MB, SEC, USEC
+
+
+def _wire():
+    """Two hosts back-to-back (no switch), 1 Gbps, 100 us RTT."""
+    sim = Simulator()
+    nic_b = make_nic(sim, GBPS, link=None)
+    host_b = Host(sim, 1, nic_b)
+    nic_a = make_nic(sim, GBPS, link=None)
+    host_a = Host(sim, 0, nic_a)
+    nic_a.link = Link(host_b, 50 * USEC)
+    nic_b.link = Link(host_a, 50 * USEC)
+    return sim, host_a, host_b
+
+
+class TestRtoHeapChurn:
+    def test_single_flow_heap_stays_flat(self):
+        """~3500 data packets and as many ACKs: the heap must stay tiny.
+
+        With cancel+repush RTO management the high-water mark tracked the
+        ACK count (thousands); with lazy timers it is bounded by the
+        handful of genuinely concurrent events a single flow can have.
+        """
+        sim, host_a, host_b = _wire()
+        flow = Flow(1, 0, 1, 5 * MB)
+        Receiver(sim, host_b, flow)
+        sender = DctcpSender(sim, host_a, flow)
+        sim.schedule(0, sender.start)
+        sim.run(until=30 * SEC)
+        assert flow.completed
+        assert flow.npkts > 3000  # the run really did move many packets
+        assert sim.heap_hwm < 64
+
+    def test_rearm_pushes_at_most_one_tick(self):
+        """Re-arming (the per-ACK operation) must not grow the heap."""
+        sim, host_a, _ = _wire()
+        flow = Flow(1, 0, 1, 100 * KB)
+        sender = DctcpSender(sim, host_a, flow)
+        before = sim.pending
+        for _ in range(500):
+            sender._arm_rto()
+        assert sim.pending <= before + 1
+
+    def test_experiment_heap_hwm_scales_with_flows(self):
+        """Many-flow run: high-water mark O(flows), far below O(packets)."""
+        n_flows = 100
+        result = run_experiment(
+            ExperimentConfig(
+                scheme="tcn",
+                scheduler="dwrr",
+                workload="cache",
+                load=0.9,
+                n_flows=n_flows,
+                seed=13,
+            )
+        )
+        hwm = result.profile["heap_hwm"]
+        events = result.profile["events"]
+        assert hwm <= 2 * n_flows + 64
+        # each executed event is roughly one heap entry's lifetime: the
+        # high-water mark must be orders of magnitude below the churn
+        assert hwm * 20 < events

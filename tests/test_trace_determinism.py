@@ -1,7 +1,16 @@
-"""Tracing is an observer: byte-identical traces, unchanged results."""
+"""Tracing is an observer: byte-identical traces, unchanged results.
+
+Also home of the golden-digest guards: SHA-256 pins of the full JSONL
+trace and the FCT vector for fixed seeds, captured on the pre-hot-path
+core.  Any change that perturbs simulation behaviour — event ordering,
+RNG consumption, marking, retransmission timing — flips a digest; pure
+performance work must keep them all green.
+"""
 
 import dataclasses
+import hashlib
 import io
+import json
 
 import pytest
 
@@ -89,6 +98,98 @@ class TestTracingIsPureObservation:
         traced, untraced, _ = pair
         assert traced.profile["events"] == untraced.profile["events"]
         assert traced.profile["heap_hwm"] == untraced.profile["heap_hwm"]
+
+
+#: digests captured from the engine as of the seed revision (pre hot-path
+#: rework); the rework was required to reproduce them bit-for-bit.
+#: To regenerate after an *intentional* behaviour change: run the config
+#: with a Tracer, sha256 the exported JSONL and the json.dumps of the
+#: [flow.fct_ns...] list, and update the counters alongside.
+_GOLDEN = {
+    "star_tcn_dwrr": {
+        "config": dict(
+            scheme="tcn", scheduler="dwrr", workload="cache",
+            load=0.5, n_flows=15, seed=4,
+        ),
+        "trace_sha256": (
+            "529ebbcbec50ccb9b9e7740044ad43126f458e12999863d03c6b98d7ea53b74a"
+        ),
+        "trace_events": 511,
+        "fct_sha256": (
+            "c1e4bb33aa843bb0f2d3c340d9a838f4094a8d1bef5f9780510a64df830a8920"
+        ),
+        "completed": 15,
+        "total": 15,
+        "timeouts": 0,
+        "drops": 0,
+        "marks": 0,
+        "sim_ns": 50_000_000,
+        "avg_all_ns": 235_301.6,
+    },
+    "star_red_spwfq": {
+        "config": dict(
+            scheme="red_std", scheduler="sp_wfq", workload="websearch",
+            load=0.7, n_flows=25, seed=7,
+        ),
+        "trace_sha256": (
+            "d4ee7ad6ad8448f9b03dbc2630570868e2701ddfbdfcb50790f7eb396f3ff44b"
+        ),
+        "trace_events": 17444,
+        "fct_sha256": (
+            "c4b911f1a412d35c0b56a600348b5f148d90e7ff8288342103b098ba3435d94c"
+        ),
+        "completed": 25,
+        "total": 25,
+        "timeouts": 0,
+        "drops": 0,
+        "marks": 0,
+        "sim_ns": 400_000_000,
+        "avg_all_ns": 2_253_811.2,
+    },
+}
+
+
+class TestGoldenDigests:
+    """Bit-exact pins of whole runs across two schemes and schedulers."""
+
+    @pytest.fixture(scope="class")
+    def runs(self):
+        out = {}
+        for name, golden in _GOLDEN.items():
+            tracer = Tracer()
+            result = run_experiment(
+                ExperimentConfig(**golden["config"]), tracer=tracer
+            )
+            out[name] = (result, _jsonl(tracer))
+        return out
+
+    @pytest.mark.parametrize("name", sorted(_GOLDEN))
+    def test_trace_bytes_match_golden(self, runs, name):
+        golden = _GOLDEN[name]
+        _, blob = runs[name]
+        assert len(blob.splitlines()) == golden["trace_events"]
+        assert hashlib.sha256(blob.encode()).hexdigest() == (
+            golden["trace_sha256"]
+        )
+
+    @pytest.mark.parametrize("name", sorted(_GOLDEN))
+    def test_fct_vector_matches_golden(self, runs, name):
+        golden = _GOLDEN[name]
+        result, _ = runs[name]
+        fcts = [f.fct_ns for f in result.flows]
+        assert hashlib.sha256(json.dumps(fcts).encode()).hexdigest() == (
+            golden["fct_sha256"]
+        )
+        assert result.summary.avg_all_ns == golden["avg_all_ns"]
+
+    @pytest.mark.parametrize("name", sorted(_GOLDEN))
+    def test_counters_match_golden(self, runs, name):
+        golden = _GOLDEN[name]
+        result, _ = runs[name]
+        for fld in (
+            "completed", "total", "timeouts", "drops", "marks", "sim_ns",
+        ):
+            assert getattr(result, fld) == golden[fld], fld
 
 
 class TestSweepObservabilityFields:
