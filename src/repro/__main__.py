@@ -18,6 +18,9 @@ Examples::
 
     # hot-path microbenchmarks; gate against the committed baselines
     python -m repro bench --out bench-out --compare benchmarks/baselines
+
+    # simlint: determinism/hot-path static analysis (SIM001..SIM010)
+    python -m repro lint --format json
 """
 
 from __future__ import annotations
@@ -256,6 +259,10 @@ def main(argv=None) -> int:
         from repro.bench.cli import main as bench_main
 
         return bench_main(argv[1:])
+    if argv and argv[0] == "lint":
+        from repro.analysis.cli import main as lint_main
+
+        return lint_main(argv[1:])
     if argv and argv[0] == "run":
         # explicit subcommand form; bare flags still mean "run" for
         # backward compatibility

@@ -1,0 +1,45 @@
+"""repro.analysis — simlint, the simulator-invariant static analyzer.
+
+Every number this repository produces — the TCN vs. queue-length FCT
+comparisons, the golden SHA-256 trace digests, the content-addressed sweep
+cache — rests on one property: the simulator is **bit-deterministic under a
+seed**.  Generic linters cannot see that property, because it is violated by
+perfectly idiomatic Python: a ``time.time()`` in a control law, an iteration
+over a ``set`` of id-hashed objects, a module-level ``random`` draw.
+
+simlint is a stdlib-``ast`` rule engine that rejects those hazards at review
+time.  Rules live in :mod:`repro.analysis.rules` (SIM001..SIM010), the
+walking/suppression/baseline machinery in :mod:`repro.analysis.engine`, and
+the ``python -m repro lint`` entry point in :mod:`repro.analysis.cli`.
+
+See docs/STATIC_ANALYSIS.md for the rule catalog, suppression pragmas, and
+the re-baselining workflow.
+"""
+
+from repro.analysis.engine import (
+    BASELINE_VERSION,
+    JSON_SCHEMA_VERSION,
+    Baseline,
+    Finding,
+    LintResult,
+    ModuleInfo,
+    Rule,
+    iter_python_files,
+    lint_paths,
+    registered_rules,
+    rule,
+)
+
+__all__ = [
+    "BASELINE_VERSION",
+    "JSON_SCHEMA_VERSION",
+    "Baseline",
+    "Finding",
+    "LintResult",
+    "ModuleInfo",
+    "Rule",
+    "iter_python_files",
+    "lint_paths",
+    "registered_rules",
+    "rule",
+]

@@ -1,0 +1,777 @@
+"""The built-in simlint rules, SIM001..SIM010.
+
+Each rule encodes one project-specific invariant that a generic linter
+cannot express — they are all, one way or another, about keeping the
+simulator **bit-deterministic under a seed** and its hot path disciplined.
+docs/STATIC_ANALYSIS.md carries the full catalog with worked examples; the
+docstring of each checker here is the normative statement.
+
+Scope conventions
+-----------------
+``SIM_PACKAGES`` are the packages whose code can affect simulation results
+(event order, timestamps, marking decisions, flow schedules).  Rules about
+*determinism of results* apply there; rules about *codebase hygiene*
+(wall-clock, prints, mutable defaults) apply to all of ``src/repro`` and are
+suppressed at the legitimately-impure sites with justified pragmas.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple
+
+from repro.analysis.engine import (
+    SEVERITY_WARNING,
+    Finding,
+    ModuleInfo,
+    rule,
+)
+
+#: packages under ``repro.`` whose code affects simulated behaviour
+SIM_PACKAGES = (
+    "sim",
+    "net",
+    "sched",
+    "aqm",
+    "core",
+    "transport",
+    "topo",
+    "workloads",
+)
+
+# -- SIM001: wall clock ---------------------------------------------------
+
+_TIME_FNS = {
+    "time",
+    "time_ns",
+    "perf_counter",
+    "perf_counter_ns",
+    "monotonic",
+    "monotonic_ns",
+    "process_time",
+    "process_time_ns",
+}
+_DATETIME_FNS = {"now", "utcnow", "today"}
+
+
+@rule(
+    "SIM001",
+    "no-wall-clock",
+    rationale=(
+        "Simulated time is Simulator.now; wall-clock reads make behaviour "
+        "depend on host speed and destroy bit-reproducibility."
+    ),
+)
+def check_wall_clock(mod: ModuleInfo) -> Iterator[Finding]:
+    """Flag ``time.time()``/``perf_counter()``/``datetime.now()`` & friends.
+
+    Applies to all of ``src/repro``: inside the sim-affecting packages a hit
+    is always a bug; elsewhere (harness wall-time accounting, benchmarks)
+    the few legitimate sites carry justified pragmas, so a new unannotated
+    one still fails review.
+    """
+    for node in ast.walk(mod.tree):
+        if isinstance(node, ast.Attribute):
+            base = node.value
+            if isinstance(base, ast.Name):
+                if base.id == "time" and node.attr in _TIME_FNS:
+                    yield mod.finding(
+                        "SIM001",
+                        node,
+                        f"wall-clock call time.{node.attr} — simulated code "
+                        "must read Simulator.now",
+                    )
+                elif base.id in ("datetime", "date") and node.attr in _DATETIME_FNS:
+                    yield mod.finding(
+                        "SIM001",
+                        node,
+                        f"wall-clock call {base.id}.{node.attr} — simulated "
+                        "code must read Simulator.now",
+                    )
+            elif (
+                isinstance(base, ast.Attribute)
+                and isinstance(base.value, ast.Name)
+                and base.value.id == "datetime"
+                and node.attr in _DATETIME_FNS
+            ):
+                yield mod.finding(
+                    "SIM001",
+                    node,
+                    f"wall-clock call datetime.{base.attr}.{node.attr}",
+                )
+        elif isinstance(node, ast.ImportFrom) and node.module == "time":
+            for alias in node.names:
+                if alias.name in _TIME_FNS:
+                    yield mod.finding(
+                        "SIM001",
+                        node,
+                        f"imports wall-clock function time.{alias.name} — "
+                        "keep the time module qualified so call sites are "
+                        "individually auditable",
+                    )
+
+
+# -- SIM002: global random ------------------------------------------------
+
+_RANDOM_DRAWS = {
+    "random",
+    "randint",
+    "randrange",
+    "uniform",
+    "choice",
+    "choices",
+    "shuffle",
+    "sample",
+    "expovariate",
+    "gauss",
+    "normalvariate",
+    "lognormvariate",
+    "betavariate",
+    "paretovariate",
+    "weibullvariate",
+    "vonmisesvariate",
+    "triangular",
+    "getrandbits",
+    "seed",
+}
+
+
+@rule(
+    "SIM002",
+    "no-global-random",
+    rationale=(
+        "The module-level random stream is shared process state: any new "
+        "consumer perturbs every existing draw.  All randomness flows "
+        "through repro.sim.rng seeded streams."
+    ),
+)
+def check_global_random(mod: ModuleInfo) -> Iterator[Finding]:
+    """Flag ``random.<draw>()`` on the module-global stream and unseeded
+    ``random.Random()`` construction, everywhere except ``repro.sim.rng``."""
+    if mod.module == "repro.sim.rng":
+        return
+    for node in ast.walk(mod.tree):
+        if not isinstance(node, ast.Call):
+            continue
+        func = node.func
+        if (
+            isinstance(func, ast.Attribute)
+            and isinstance(func.value, ast.Name)
+            and func.value.id == "random"
+        ):
+            if func.attr in _RANDOM_DRAWS:
+                yield mod.finding(
+                    "SIM002",
+                    node,
+                    f"random.{func.attr}() uses the process-global stream — "
+                    "draw from an RngFactory stream instead",
+                )
+            elif func.attr == "Random" and not node.args and not node.keywords:
+                yield mod.finding(
+                    "SIM002",
+                    node,
+                    "unseeded random.Random() — seed it, or take a stream "
+                    "from RngFactory",
+                )
+        elif (
+            isinstance(func, ast.Name)
+            and func.id == "Random"
+            and not node.args
+            and not node.keywords
+        ):
+            yield mod.finding(
+                "SIM002",
+                node,
+                "unseeded Random() — seed it, or take a stream from RngFactory",
+            )
+
+
+# -- SIM003: set-iteration order ------------------------------------------
+
+
+def _scopes(tree: ast.Module) -> Iterator[Tuple[ast.AST, Sequence[ast.stmt]]]:
+    """Yield (scope node, body) for the module and every function."""
+    yield tree, tree.body
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            yield node, node.body
+
+
+def _walk_scope(body: Sequence[ast.stmt]) -> Iterator[ast.AST]:
+    """Walk a scope's statements without descending into nested scopes.
+
+    Nested functions/lambdas/classes are *yielded* (so callers can note
+    them) but not entered — each function body is analyzed exactly once,
+    by its own entry from :func:`_scopes`.
+    """
+    stack: List[ast.AST] = list(body)
+    while stack:
+        node = stack.pop()
+        yield node
+        if isinstance(
+            node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda, ast.ClassDef)
+        ):
+            continue
+        stack.extend(ast.iter_child_nodes(node))
+
+
+def _is_set_expr(node: ast.AST) -> bool:
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    return (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Name)
+        and node.func.id in ("set", "frozenset")
+    )
+
+
+@rule(
+    "SIM003",
+    "no-set-iteration",
+    severity=SEVERITY_WARNING,
+    rationale=(
+        "Iterating a set of id-hashed objects visits them in PYTHONHASHSEED "
+        "order — identical seeds then produce different event interleavings "
+        "across processes.  Iterate a list, or sorted(...) with a stable key."
+    ),
+)
+def check_set_iteration(mod: ModuleInfo) -> Iterator[Finding]:
+    """Flag ``for``/comprehension iteration over sets in sim-affecting code.
+
+    Heuristic: direct iteration of a set display/comprehension/``set()``
+    call, or of a local name bound to one earlier in the same scope.
+    Wrapping in ``sorted(...)`` (any deterministic ordering) passes.
+    """
+    if not mod.in_packages(SIM_PACKAGES):
+        return
+    for _scope, body in _scopes(mod.tree):
+        set_names: Set[str] = set()
+        # first pass: names bound to set expressions anywhere in the scope
+        for node in _walk_scope(body):
+            if isinstance(node, ast.Assign) and _is_set_expr(node.value):
+                for target in node.targets:
+                    if isinstance(target, ast.Name):
+                        set_names.add(target.id)
+            elif isinstance(node, ast.AnnAssign) and node.value is not None:
+                if _is_set_expr(node.value) and isinstance(node.target, ast.Name):
+                    set_names.add(node.target.id)
+        for node in _walk_scope(body):
+            iters: List[ast.expr] = []
+            if isinstance(node, ast.For):
+                iters.append(node.iter)
+            elif isinstance(
+                node, (ast.ListComp, ast.SetComp, ast.GeneratorExp, ast.DictComp)
+            ):
+                iters.extend(gen.iter for gen in node.generators)
+            for it in iters:
+                if _is_set_expr(it):
+                    yield mod.finding(
+                        "SIM003",
+                        it,
+                        "iteration over a set — order follows "
+                        "PYTHONHASHSEED for id-hashed elements; use a "
+                        "list or sorted(...)",
+                    )
+                elif isinstance(it, ast.Name) and it.id in set_names:
+                    yield mod.finding(
+                        "SIM003",
+                        it,
+                        f"iteration over set {it.id!r} — order follows "
+                        "PYTHONHASHSEED for id-hashed elements; use a "
+                        "list or sorted(...)",
+                    )
+
+
+# -- SIM004: mutable defaults ---------------------------------------------
+
+
+def _is_mutable_default(node: ast.expr) -> bool:
+    if isinstance(node, (ast.List, ast.Dict, ast.Set, ast.ListComp, ast.DictComp, ast.SetComp)):
+        return True
+    return (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Name)
+        and node.func.id in ("list", "dict", "set", "defaultdict", "deque", "bytearray")
+    )
+
+
+@rule(
+    "SIM004",
+    "no-mutable-defaults",
+    rationale=(
+        "A mutable default is shared across every call — state leaks "
+        "between experiments and across sweep workers."
+    ),
+)
+def check_mutable_defaults(mod: ModuleInfo) -> Iterator[Finding]:
+    """Flag list/dict/set (display or constructor) default argument values."""
+    for node in ast.walk(mod.tree):
+        if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+            continue
+        defaults = list(node.args.defaults) + [
+            d for d in node.args.kw_defaults if d is not None
+        ]
+        for default in defaults:
+            if _is_mutable_default(default):
+                yield mod.finding(
+                    "SIM004",
+                    default,
+                    "mutable default argument — use None and construct "
+                    "inside the function",
+                )
+
+
+# -- SIM005: __slots__ on hot-path classes --------------------------------
+
+#: classes constructed per-port/per-flow/per-packet: one instance dict each
+#: is measurable memory and attribute-lookup overhead on the hot path
+HOT_CLASS_NAMES = {
+    "Scheduler",
+    "Aqm",
+    "SenderBase",
+    "Packet",
+    "PacketQueue",
+    "EgressPort",
+    "PortStats",
+    "Link",
+    # Host and Switch are intentionally absent: one instance per node (a
+    # handful per topology, vs. thousands of packets), and the test suite
+    # instruments them by patching ``receive`` on instances — which
+    # ``__slots__`` would forbid.
+    "Receiver",
+    "Flow",
+    "Simulator",
+    "TransportStats",
+    "RateMeter",
+}
+
+#: inheriting from any of these puts a class on the hot path (AST-level
+#: name matching: the known abstract roots plus their shipped subclasses,
+#: so one level of indirection is still caught)
+HOT_BASE_NAMES = {
+    "Scheduler",
+    "_SpOverScheduler",
+    "FifoScheduler",
+    "StrictPriorityScheduler",
+    "WrrScheduler",
+    "DwrrScheduler",
+    "WfqScheduler",
+    "PifoScheduler",
+    "SpDwrrScheduler",
+    "SpWfqScheduler",
+    "Aqm",
+    "NoopAqm",
+    "SenderBase",
+    "DctcpSender",
+    "DcqcnSender",
+    "EcnStarSender",
+    "RenoSender",
+}
+
+
+def _base_names(cls: ast.ClassDef) -> Set[str]:
+    names: Set[str] = set()
+    for base in cls.bases:
+        if isinstance(base, ast.Name):
+            names.add(base.id)
+        elif isinstance(base, ast.Attribute):
+            names.add(base.attr)
+    return names
+
+
+def _declares_slots(cls: ast.ClassDef) -> bool:
+    for stmt in cls.body:
+        if isinstance(stmt, ast.Assign):
+            for target in stmt.targets:
+                if isinstance(target, ast.Name) and target.id == "__slots__":
+                    return True
+        elif isinstance(stmt, ast.AnnAssign):
+            if isinstance(stmt.target, ast.Name) and stmt.target.id == "__slots__":
+                return True
+    return False
+
+
+def _is_dataclass(cls: ast.ClassDef) -> bool:
+    for dec in cls.decorator_list:
+        name = None
+        if isinstance(dec, ast.Name):
+            name = dec.id
+        elif isinstance(dec, ast.Attribute):
+            name = dec.attr
+        elif isinstance(dec, ast.Call):
+            func = dec.func
+            name = func.id if isinstance(func, ast.Name) else getattr(func, "attr", None)
+        if name == "dataclass":
+            return True
+    return False
+
+
+@rule(
+    "SIM005",
+    "slots-on-hot-path",
+    rationale=(
+        "Per-packet/per-flow objects without __slots__ each drag an "
+        "instance dict: ~2x memory and a slower attribute path in the "
+        "tightest loops the benchmarks gate."
+    ),
+)
+def check_hot_path_slots(mod: ModuleInfo) -> Iterator[Finding]:
+    """Hot-path classes (Packet, queues, ports, schedulers, AQMs, senders)
+    must declare ``__slots__`` — empty tuple when they add no state."""
+    if not mod.in_packages(SIM_PACKAGES):
+        return
+    for node in ast.walk(mod.tree):
+        if not isinstance(node, ast.ClassDef):
+            continue
+        hot = node.name in HOT_CLASS_NAMES or (_base_names(node) & HOT_BASE_NAMES)
+        if not hot or _is_dataclass(node):
+            continue
+        if not _declares_slots(node):
+            yield mod.finding(
+                "SIM005",
+                node,
+                f"hot-path class {node.name} does not declare __slots__ "
+                "(use __slots__ = () when it adds no attributes)",
+            )
+
+
+# -- SIM006: stale `now` captured across event boundaries ------------------
+
+_SCHEDULE_FNS = {"schedule", "schedule_at", "schedule_call", "schedule_many"}
+
+
+def _names_read(node: ast.AST) -> Set[str]:
+    return {
+        n.id
+        for n in ast.walk(node)
+        if isinstance(n, ast.Name) and isinstance(n.ctx, ast.Load)
+    }
+
+
+@rule(
+    "SIM006",
+    "no-stale-now-capture",
+    severity=SEVERITY_WARNING,
+    rationale=(
+        "A callback runs at its *fire* time; a captured `now = sim.now` "
+        "snapshot is the *scheduling* time.  Control laws fed stale "
+        "timestamps (sojourn, round time) silently skew marking decisions."
+    ),
+)
+def check_stale_now_capture(mod: ModuleInfo) -> Iterator[Finding]:
+    """Flag scheduling a lambda/closure that reads a local previously
+    assigned from ``<sim>.now`` — re-read ``.now`` inside the callback."""
+    if not mod.in_packages(SIM_PACKAGES):
+        return
+    for scope, body in _scopes(mod.tree):
+        if scope is mod.tree:
+            continue
+        # locals snapshotting .now in this function
+        now_names: Set[str] = set()
+        inner_defs: Dict[str, ast.AST] = {}
+        for node in _walk_scope(body):
+            if isinstance(node, ast.Assign):
+                value = node.value
+                if isinstance(value, ast.Attribute) and value.attr == "now":
+                    for target in node.targets:
+                        if isinstance(target, ast.Name):
+                            now_names.add(target.id)
+            if isinstance(node, ast.FunctionDef) and node is not scope:
+                inner_defs[node.name] = node
+        if not now_names:
+            continue
+        for node in _walk_scope(body):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            attr = func.attr if isinstance(func, ast.Attribute) else None
+            if attr not in _SCHEDULE_FNS:
+                continue
+            for arg in list(node.args) + [kw.value for kw in node.keywords]:
+                callback: Optional[ast.AST] = None
+                if isinstance(arg, ast.Lambda):
+                    callback = arg.body
+                elif isinstance(arg, ast.Name) and arg.id in inner_defs:
+                    callback = inner_defs[arg.id]
+                if callback is None:
+                    continue
+                stale = _names_read(callback) & now_names
+                if stale:
+                    yield mod.finding(
+                        "SIM006",
+                        arg,
+                        "scheduled callback captures stale now-snapshot "
+                        f"{sorted(stale)!r} — re-read Simulator.now at "
+                        "fire time",
+                    )
+
+
+# -- SIM007: abstract surface of Scheduler/Aqm subclasses ------------------
+
+
+def _trivial_hook(fn: ast.FunctionDef) -> bool:
+    """True for a body that is only a docstring plus `pass`/`return False`."""
+    body = list(fn.body)
+    if (
+        body
+        and isinstance(body[0], ast.Expr)
+        and isinstance(body[0].value, ast.Constant)
+        and isinstance(body[0].value.value, str)
+    ):
+        body = body[1:]
+    if not body:
+        return True
+    if len(body) != 1:
+        return False
+    stmt = body[0]
+    if isinstance(stmt, ast.Pass):
+        return True
+    return (
+        isinstance(stmt, ast.Return)
+        and isinstance(stmt.value, ast.Constant)
+        and stmt.value.value is False
+    )
+
+
+@rule(
+    "SIM007",
+    "override-abstract-surface",
+    rationale=(
+        "A Scheduler must implement enqueue+dequeue; an Aqm must override a "
+        "hook to exist at all.  Re-defining a hook as a trivial no-op "
+        "defeats the port's hook elision and re-adds a per-packet call."
+    ),
+)
+def check_abstract_surface(mod: ModuleInfo) -> Iterator[Finding]:
+    """Direct ``Scheduler`` subclasses must define both ``enqueue`` and
+    ``dequeue``; direct ``Aqm`` subclasses must override at least one
+    marking hook, and no subclass may shadow a hook with a trivial no-op
+    body (the port elides hooks inherited from ``Aqm`` — a shadowing no-op
+    silently re-enables the per-packet call)."""
+    if not mod.in_packages(SIM_PACKAGES):
+        return
+    for node in ast.walk(mod.tree):
+        if not isinstance(node, ast.ClassDef):
+            continue
+        bases = _base_names(node)
+        methods = {
+            s.name: s for s in node.body if isinstance(s, ast.FunctionDef)
+        }
+        if "Scheduler" in bases and node.name != "Scheduler":
+            missing = {"enqueue", "dequeue"} - set(methods)
+            if missing:
+                yield mod.finding(
+                    "SIM007",
+                    node,
+                    f"Scheduler subclass {node.name} does not implement "
+                    f"{sorted(missing)} — the full abstract surface is "
+                    "mandatory",
+                )
+        if "Aqm" in bases and node.name != "Aqm":
+            hooks = {"on_enqueue", "on_dequeue"}
+            overridden = hooks & set(methods)
+            nontrivial = {h for h in overridden if not _trivial_hook(methods[h])}
+            if not nontrivial:
+                yield mod.finding(
+                    "SIM007",
+                    node,
+                    f"Aqm subclass {node.name} overrides no marking hook — "
+                    "it can never mark",
+                )
+            for h in overridden:
+                if _trivial_hook(methods[h]):
+                    yield mod.finding(
+                        "SIM007",
+                        methods[h],
+                        f"{node.name}.{h} shadows the elided no-op hook with "
+                        "a trivial body — delete the override so the port "
+                        "skips the per-packet call",
+                    )
+
+
+# -- SIM008: float equality on simulated time ------------------------------
+
+_TIME_NAME_SUFFIXES = ("_ns", "_ts", "_time")
+_TIME_NAMES = {"now", "deadline", "enq_ts", "ts", "ts_echo", "sojourn"}
+
+
+def _terminal_names(node: ast.AST) -> Iterator[str]:
+    for n in ast.walk(node):
+        if isinstance(n, ast.Name):
+            yield n.id
+        elif isinstance(n, ast.Attribute):
+            yield n.attr
+
+
+def _time_like(node: ast.AST) -> bool:
+    for name in _terminal_names(node):
+        if name in _TIME_NAMES or name.endswith(_TIME_NAME_SUFFIXES):
+            return True
+    return False
+
+
+def _float_tainted(node: ast.AST) -> bool:
+    for n in ast.walk(node):
+        if isinstance(n, ast.Constant) and isinstance(n.value, float):
+            return True
+        if isinstance(n, ast.BinOp) and isinstance(n.op, ast.Div):
+            return True
+        if (
+            isinstance(n, ast.Call)
+            and isinstance(n.func, ast.Name)
+            and n.func.id == "float"
+        ):
+            return True
+    return False
+
+
+@rule(
+    "SIM008",
+    "no-float-time-equality",
+    rationale=(
+        "Simulated time is integer nanoseconds by design; == against a "
+        "float (or a true-division result) re-introduces the rounding "
+        "surprises the integer clock exists to rule out."
+    ),
+)
+def check_float_time_equality(mod: ModuleInfo) -> Iterator[Finding]:
+    """Flag ``==``/``!=`` where one side is time-like (``.now``, ``*_ns``,
+    ``*_ts``...) and either side is float-tainted (float literal, true
+    division, ``float()``)."""
+    if not mod.in_packages(SIM_PACKAGES):
+        return
+    for node in ast.walk(mod.tree):
+        if not isinstance(node, ast.Compare):
+            continue
+        operands = [node.left] + list(node.comparators)
+        for op, left, right in zip(node.ops, operands, operands[1:]):
+            if not isinstance(op, (ast.Eq, ast.NotEq)):
+                continue
+            if (_time_like(left) or _time_like(right)) and (
+                _float_tainted(left) or _float_tainted(right)
+            ):
+                yield mod.finding(
+                    "SIM008",
+                    node,
+                    "float equality on simulated time — compare integer "
+                    "nanoseconds, or use an explicit tolerance",
+                )
+
+
+# -- SIM009: no print -----------------------------------------------------
+
+
+@rule(
+    "SIM009",
+    "no-print",
+    rationale=(
+        "Stray prints corrupt machine-read CLI output and bypass the "
+        "repro.obs tracing/metrics pipeline; user-facing output belongs to "
+        "the CLI modules."
+    ),
+)
+def check_print(mod: ModuleInfo) -> Iterator[Finding]:
+    """Flag ``print()`` outside the CLI entry points (``__main__``, ``cli``
+    modules) — route diagnostics through ``repro.obs``."""
+    parts = mod.package_parts()
+    if parts and (parts[-1] in ("__main__", "cli")):
+        return
+    for node in ast.walk(mod.tree):
+        if (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Name)
+            and node.func.id == "print"
+        ):
+            yield mod.finding(
+                "SIM009",
+                node,
+                "print() in library code — emit through repro.obs (trace/"
+                "metrics) or return data to the CLI layer",
+            )
+
+
+# -- SIM010: freelist discipline ------------------------------------------
+
+_MAKE_FNS = {"make_data", "make_ack"}
+
+
+def _statement_lists(tree: ast.Module) -> Iterator[List[ast.stmt]]:
+    for node in ast.walk(tree):
+        for field in ("body", "orelse", "finalbody"):
+            stmts = getattr(node, field, None)
+            if isinstance(stmts, list) and stmts and isinstance(stmts[0], ast.stmt):
+                yield stmts
+
+
+@rule(
+    "SIM010",
+    "freelist-discipline",
+    rationale=(
+        "Packets are pooled: a make_data/make_ack result that is dropped on "
+        "the floor leaks a frame for the whole run, and touching a packet "
+        "after release() reads a frame the next make_* may have rewritten."
+    ),
+)
+def check_freelist_discipline(mod: ModuleInfo) -> Iterator[Finding]:
+    """In ``repro.net``/``repro.transport``: a ``make_data``/``make_ack``
+    result must not be discarded, and a name passed to ``release()`` must
+    not be used later in the same statement list (use-after-release).  The
+    companion cross-module invariant — every make path reaches ``release``
+    at the delivery endpoint — is enforced at runtime by the freelist
+    counters the benchmarks gate."""
+    if not mod.in_packages(("net", "transport")):
+        return
+    for node in ast.walk(mod.tree):
+        if isinstance(node, ast.Expr) and isinstance(node.value, ast.Call):
+            func = node.value.func
+            name = (
+                func.id
+                if isinstance(func, ast.Name)
+                else func.attr if isinstance(func, ast.Attribute) else None
+            )
+            if name in _MAKE_FNS:
+                yield mod.finding(
+                    "SIM010",
+                    node,
+                    f"{name}() result discarded — the frame can never be "
+                    "released back to the freelist",
+                )
+    for stmts in _statement_lists(mod.tree):
+        released: Dict[str, int] = {}
+        for idx, stmt in enumerate(stmts):
+            if (
+                isinstance(stmt, ast.Expr)
+                and isinstance(stmt.value, ast.Call)
+                and len(stmt.value.args) == 1
+                and isinstance(stmt.value.args[0], ast.Name)
+            ):
+                func = stmt.value.func
+                fname = (
+                    func.id
+                    if isinstance(func, ast.Name)
+                    else func.attr if isinstance(func, ast.Attribute) else None
+                )
+                if fname == "release":
+                    released[stmt.value.args[0].id] = idx
+                    continue
+            # reassignment re-validates the name
+            if isinstance(stmt, ast.Assign):
+                for target in stmt.targets:
+                    if isinstance(target, ast.Name) and target.id in released:
+                        del released[target.id]
+            if not released:
+                continue
+            for sub in ast.walk(stmt):
+                if (
+                    isinstance(sub, ast.Name)
+                    and isinstance(sub.ctx, ast.Load)
+                    and sub.id in released
+                ):
+                    yield mod.finding(
+                        "SIM010",
+                        sub,
+                        f"{sub.id!r} used after release() — the frame may "
+                        "already have been recycled by the next make_*",
+                    )
+                    del released[sub.id]
+                    break

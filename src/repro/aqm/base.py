@@ -29,6 +29,8 @@ if TYPE_CHECKING:  # pragma: no cover
 class Aqm:
     """Base class: never marks.  Subclasses override one or both hooks."""
 
+    __slots__ = ()
+
     def setup(self, port: "EgressPort") -> None:
         """Called once when the AQM is attached to its port."""
 
@@ -56,5 +58,7 @@ class Aqm:
         return False
 
 
-class NoopAqm(Aqm):
+class NoopAqm(Aqm):  # simlint: disable=SIM007 -- the no-ECN baseline *is* the base class's never-mark behaviour; overriding the hooks would only re-state `return False`
     """Explicit no-marking AQM (drop-tail only) — the no-ECN baseline."""
+
+    __slots__ = ()

@@ -55,6 +55,8 @@ class CoDel(Aqm):
         marking starts (Internet default 100 ms; testbed-tuned 1024 us).
     """
 
+    __slots__ = ("target_ns", "interval_ns", "_state")
+
     def __init__(self, target_ns: int = 5 * MSEC, interval_ns: int = 100 * MSEC) -> None:
         if target_ns <= 0 or interval_ns <= 0:
             raise ValueError(

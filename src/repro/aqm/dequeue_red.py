@@ -24,6 +24,8 @@ if TYPE_CHECKING:  # pragma: no cover
 class DequeueRed(Aqm):
     """Per-queue static threshold, evaluated on the dequeue side."""
 
+    __slots__ = ("_threshold_spec", "_K")
+
     def __init__(self, threshold_bytes: Union[int, Sequence[int]]) -> None:
         self._threshold_spec = threshold_bytes
         self._K: Dict[int, int] = {}

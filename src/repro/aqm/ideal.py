@@ -38,6 +38,11 @@ class IdealRed(Aqm):
         EWMA weight of the old average (0.875 in the paper's Fig. 2).
     """
 
+    __slots__ = (
+        "rtt_ns", "lam", "dq_thresh_bytes", "avg_weight",
+        "record_samples", "_meters", "_line_rate_bps",
+    )
+
     def __init__(
         self,
         rtt_ns: int,

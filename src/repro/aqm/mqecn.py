@@ -42,6 +42,12 @@ class MqEcn(Aqm):
         stale low-rate estimate).
     """
 
+    __slots__ = (
+        "rtt_ns", "lam", "beta", "idle_mtu", "mtu_bytes",
+        "_round_ns", "_last_activity", "_k_std", "_idle_ns",
+        "_line_rate_bps",
+    )
+
     def __init__(
         self,
         rtt_ns: int,

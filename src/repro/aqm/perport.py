@@ -23,6 +23,8 @@ if TYPE_CHECKING:  # pragma: no cover
 class PerPortRed(Aqm):
     """Mark at enqueue when the whole port's occupancy exceeds K."""
 
+    __slots__ = ("threshold_bytes",)
+
     def __init__(self, threshold_bytes: int) -> None:
         if threshold_bytes < 0:
             raise ValueError(f"threshold must be >= 0, got {threshold_bytes}")
@@ -61,6 +63,8 @@ class BufferPool:
 
 class PerPoolRed(Aqm):
     """Mark at enqueue when the shared pool's occupancy exceeds K."""
+
+    __slots__ = ("pool", "threshold_bytes")
 
     def __init__(self, pool: BufferPool, threshold_bytes: int) -> None:
         self.pool = pool

@@ -40,6 +40,8 @@ class PerQueueRed(Aqm):
         comparison.
     """
 
+    __slots__ = ("_threshold_spec", "_full_red_spec", "_K", "_red")
+
     def __init__(
         self,
         threshold_bytes: Union[int, Sequence[int]],

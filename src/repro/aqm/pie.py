@@ -40,6 +40,11 @@ class Pie(Aqm):
     (target ~ RTT, update ~ RTT) at microsecond scale.
     """
 
+    __slots__ = (
+        "target_delay_ns", "update_interval_ns", "alpha", "beta",
+        "dq_thresh_bytes", "rng", "_state", "_port",
+    )
+
     def __init__(
         self,
         target_delay_ns: int = 100 * USEC,

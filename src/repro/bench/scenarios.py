@@ -71,8 +71,10 @@ def _engine_churn() -> Tuple[Dict[str, Union[int, float]], Fingerprint]:
         sim.schedule(10, drive)
 
     sim.schedule(0, drive)
+    # simlint: disable=SIM001 -- benchmark timing: perf_counter measures the run, it does not drive it
     start = time.perf_counter()
     sim.run()
+    # simlint: disable=SIM001 -- closes the benchmark timing pair above
     wall = time.perf_counter() - start
     profile = RunProfile.capture(sim, wall).as_dict()
     fingerprint = {"steps": steps, "sim_ns": sim.now}

@@ -40,6 +40,8 @@ class Tcn(Aqm):
     metadata, one unsigned subtraction, one compare).
     """
 
+    __slots__ = ("threshold_ns",)
+
     def __init__(self, threshold_ns: int) -> None:
         if threshold_ns <= 0:
             raise ValueError(f"TCN threshold must be positive, got {threshold_ns}")
@@ -66,6 +68,8 @@ class ProbabilisticTcn(Aqm):
     draw, for which a seeded ``random.Random`` can be injected to keep runs
     reproducible.
     """
+
+    __slots__ = ("tmin_ns", "tmax_ns", "pmax", "rng")
 
     def __init__(
         self,

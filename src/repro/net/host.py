@@ -20,7 +20,12 @@ if TYPE_CHECKING:  # pragma: no cover
 
 
 class Host:
-    """One server: NIC + flow demux."""
+    """One server: NIC + flow demux.
+
+    Deliberately *not* ``__slots__``-ed: there is one Host per server (a
+    few dozen per topology, vs. thousands of packets), and the test suite
+    instruments delivery by patching ``receive`` on instances.
+    """
 
     def __init__(self, sim: Simulator, host_id: int, nic: EgressPort) -> None:
         self.sim = sim

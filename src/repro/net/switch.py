@@ -17,7 +17,12 @@ from repro.sim.engine import Simulator
 
 
 class Switch:
-    """Output-queued switch: ports plus a routing function."""
+    """Output-queued switch: ports plus a routing function.
+
+    Deliberately *not* ``__slots__``-ed: a topology holds a handful of
+    switches (vs. thousands of packets), and the test suite instruments
+    forwarding by patching ``receive`` on instances.
+    """
 
     def __init__(self, sim: Simulator, name: str = "sw") -> None:
         self.sim = sim

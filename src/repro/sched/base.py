@@ -17,16 +17,22 @@ precisely the paper's point about MQ-ECN's limited generality.
 
 from __future__ import annotations
 
-from typing import Callable, List, Optional, Tuple
+from typing import TYPE_CHECKING, Callable, List, Optional, Tuple
 
 from repro.net.packet import Packet
 from repro.net.queue import PacketQueue
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.net.port import EgressPort
+    from repro.obs.registry import MetricsRegistry
 
 RoundObserver = Callable[[PacketQueue, int, int], None]
 
 
 class Scheduler:
     """Abstract multi-queue packet scheduler."""
+
+    __slots__ = ("queues", "total_bytes", "round_observer")
 
     #: set to True by round-robin disciplines that can drive MQ-ECN
     supports_rounds = False
@@ -48,7 +54,9 @@ class Scheduler:
         """Remove and return ``(packet, queue_it_came_from)``, or ``None``."""
         raise NotImplementedError
 
-    def register_metrics(self, registry, port) -> None:
+    def register_metrics(
+        self, registry: "MetricsRegistry", port: "EgressPort"
+    ) -> None:
         """Publish discipline-specific metrics into a ``MetricsRegistry``.
 
         Called once per port at the end of a harness run.  The default

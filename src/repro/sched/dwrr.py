@@ -27,6 +27,11 @@ from repro.sched.base import Scheduler
 class DwrrScheduler(Scheduler):
     """Deficit weighted round robin over the queue bank."""
 
+    __slots__ = (
+        "_active", "_in_active", "_deficit", "_needs_refresh",
+        "_last_turn_start",
+    )
+
     supports_rounds = True
 
     def __init__(self, queues: List[PacketQueue]) -> None:

@@ -12,6 +12,8 @@ from repro.sched.base import Scheduler
 class FifoScheduler(Scheduler):
     """First-in first-out over one queue; ``qidx`` is ignored."""
 
+    __slots__ = ()
+
     def __init__(self, queues: Optional[List[PacketQueue]] = None) -> None:
         super().__init__(queues or [PacketQueue(0)])
 

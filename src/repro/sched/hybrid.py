@@ -12,13 +12,15 @@ from typing import List, Optional, Tuple
 
 from repro.net.packet import Packet
 from repro.net.queue import PacketQueue
-from repro.sched.base import Scheduler
+from repro.sched.base import RoundObserver, Scheduler
 from repro.sched.dwrr import DwrrScheduler
 from repro.sched.wfq import WfqScheduler
 
 
 class _SpOverScheduler(Scheduler):
     """Shared machinery: first ``n_high`` queues strict, rest delegated."""
+
+    __slots__ = ("_high", "_low_queues", "_n_high", "_low")
 
     _low_cls: type = None  # type: ignore[assignment]
 
@@ -97,6 +99,8 @@ class SpDwrrScheduler(_SpOverScheduler):
     — the scheduler-equivalence tests hold both to the same reference
     model.
     """
+
+    __slots__ = ()
 
     supports_rounds = True  # rounds exist within the DWRR band
 
@@ -180,11 +184,11 @@ class SpDwrrScheduler(_SpOverScheduler):
         return None
 
     @property
-    def round_observer(self):  # type: ignore[override]
+    def round_observer(self) -> Optional[RoundObserver]:  # type: ignore[override]
         return self._low.round_observer
 
     @round_observer.setter
-    def round_observer(self, fn) -> None:
+    def round_observer(self, fn: Optional[RoundObserver]) -> None:
         # During base-class __init__ the low scheduler does not exist yet.
         low = getattr(self, "_low", None)
         if low is not None:
@@ -193,6 +197,8 @@ class SpDwrrScheduler(_SpOverScheduler):
 
 class SpWfqScheduler(_SpOverScheduler):
     """Strict priority queues over a WFQ low band (paper's SP/WFQ)."""
+
+    __slots__ = ()
 
     def _make_low(self, low_queues: List[PacketQueue], n_high: int) -> Scheduler:
         return WfqScheduler(_reindex(low_queues))

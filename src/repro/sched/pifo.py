@@ -61,6 +61,8 @@ class PifoScheduler(Scheduler):
     transmission order is global rank order, not per-queue FIFO.
     """
 
+    __slots__ = ("rank_fn", "rank_state", "_heap", "_push_seq")
+
     def __init__(self, queues: List[PacketQueue], rank_fn: RankFn = stfq_rank) -> None:
         super().__init__(queues)
         self.rank_fn = rank_fn

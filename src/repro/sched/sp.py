@@ -23,6 +23,8 @@ class StrictPriorityScheduler(Scheduler):
     defaults.
     """
 
+    __slots__ = ("_order",)
+
     def __init__(self, queues: List[PacketQueue]) -> None:
         super().__init__(queues)
         if all(q.priority == 0 for q in queues) and len(queues) > 1:

@@ -22,6 +22,8 @@ from repro.sched.base import Scheduler
 class WfqScheduler(Scheduler):
     """Self-clocked weighted fair queueing."""
 
+    __slots__ = ("_tags", "_last_finish", "_vtime")
+
     def __init__(self, queues: List[PacketQueue]) -> None:
         super().__init__(queues)
         for queue in queues:

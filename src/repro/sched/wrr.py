@@ -19,6 +19,11 @@ from repro.sched.base import Scheduler
 class WrrScheduler(Scheduler):
     """Round robin serving ``round(weight)`` packets per turn (min 1)."""
 
+    __slots__ = (
+        "_active", "_in_active", "_credit", "_needs_refresh",
+        "_last_turn_start",
+    )
+
     supports_rounds = True
 
     def __init__(self, queues: List[PacketQueue]) -> None:

@@ -29,13 +29,13 @@ Design notes
 from __future__ import annotations
 
 import heapq
-from typing import Callable, Iterable, List, Optional, Tuple
+from typing import Any, Callable, Iterable, List, Optional, Set, Tuple
 
 #: The opaque handle returned by ``schedule``/``schedule_at``/``schedule_call``
 #: — the heap entry itself.  ``handle[0]`` is the absolute fire time (ns);
 #: treat everything else as private and pass the handle to
 #: :meth:`Simulator.cancel` to cancel it.
-EventHandle = tuple
+EventHandle = Tuple[Any, ...]
 
 
 class Simulator:
@@ -62,10 +62,10 @@ class Simulator:
 
     def __init__(self) -> None:
         self.now: int = 0
-        self._heap: List[tuple] = []
+        self._heap: List[EventHandle] = []
         self._seq: int = 0
         #: seqs of heap entries cancelled but not yet popped (lazy deletion)
-        self._cancelled: set = set()
+        self._cancelled: Set[int] = set()
         self._running = False
         #: lifetime count of executed (non-cancelled) events — profiling
         self.events_executed: int = 0
@@ -103,7 +103,9 @@ class Simulator:
             self.heap_hwm = len(heap)
         return entry
 
-    def schedule_call(self, delay_ns: int, fn: Callable, arg) -> EventHandle:
+    def schedule_call(
+        self, delay_ns: int, fn: Callable[[Any], None], arg: Any
+    ) -> EventHandle:
         """Hot-path scheduling: ``fn(arg)`` in ``delay_ns`` nanoseconds.
 
         This is the monotonic fast path used by ports and links: the delay

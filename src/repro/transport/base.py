@@ -41,6 +41,16 @@ class TransportStats:
 class SenderBase:
     """Window-based reliable sender with pluggable ECN response."""
 
+    __slots__ = (
+        "sim", "host", "flow", "cwnd", "max_cwnd", "ssthresh",
+        "snd_una", "snd_nxt", "dupacks", "in_recovery", "recover",
+        "done", "tagger", "on_done", "stats", "tracer",
+        "min_rto_ns", "max_rto_ns", "srtt_ns", "rttvar_ns", "rto_ns",
+        "_base_rto_ns", "_backoff", "_rto_deadline", "_rto_tick_at",
+        "_cut_end", "app_rate_bps", "_app_tick", "_app_tokens",
+        "_app_refill_ns", "_app_bucket", "_app_hwm", "_window_limited",
+    )
+
     #: set False in subclasses that do not negotiate ECN
     ecn_capable = True
 

@@ -42,6 +42,13 @@ class DcqcnSender(SenderBase):
     one at a time by a pacing timer.
     """
 
+    __slots__ = (
+        "line_rate_bps", "min_rate_bps", "rc_bps", "rt_bps", "alpha",
+        "alpha_timer_ns", "rate_timer_ns", "_marked_since_alpha_timer",
+        "_cut_since_rate_timer", "_fr_count", "_pace_tick",
+        "_timers_started", "_dcqcn_hwm",
+    )
+
     ecn_capable = True
 
     #: alpha gain (DCQCN's g)

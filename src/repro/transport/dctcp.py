@@ -20,6 +20,10 @@ from repro.transport.base import SenderBase
 class DctcpSender(SenderBase):
     """DCTCP congestion control over the shared reliable core."""
 
+    __slots__ = (
+        "alpha", "_acked_in_window", "_marked_in_window", "_window_end",
+    )
+
     ecn_capable = True
 
     #: EWMA gain for the marking-fraction estimate (the paper's g = 1/16)

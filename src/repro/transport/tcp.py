@@ -19,6 +19,8 @@ from repro.transport.base import SenderBase
 class EcnStarSender(SenderBase):
     """Regular ECN TCP: halve cwnd on ECE, once per window."""
 
+    __slots__ = ()
+
     ecn_capable = True
 
     def _on_ecn_feedback(self, ece: bool, newly_acked: int) -> None:
@@ -31,5 +33,7 @@ class EcnStarSender(SenderBase):
 
 class RenoSender(SenderBase):
     """NewReno without ECN — the baseline the base class already implements."""
+
+    __slots__ = ()
 
     ecn_capable = False

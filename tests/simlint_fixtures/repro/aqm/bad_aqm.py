@@ -1,0 +1,24 @@
+"""SIM007: AQMs that cannot mark, or shadow the elided no-op hooks."""
+
+from repro.aqm.base import Aqm
+
+
+class NeverMarks(Aqm):  # expect: SIM007
+    """Overrides neither hook: it can never mark anything."""
+
+    __slots__ = ("threshold",)
+
+    def __init__(self, threshold):
+        self.threshold = threshold
+
+
+class ShadowingAqm(Aqm):
+    """The trivial on_enqueue re-adds a per-packet call the port had elided."""
+
+    __slots__ = ()
+
+    def on_enqueue(self, port, queue, pkt, now):  # expect: SIM007
+        return False
+
+    def on_dequeue(self, port, queue, pkt, now):
+        return now - pkt.enq_ts > 1000

@@ -1,0 +1,14 @@
+"""SIM004: mutable default arguments shared across calls."""
+
+
+def build_thresholds(values=[]):  # expect: SIM004
+    values.append(1)
+    return values
+
+
+def make_table(mapping={}, names=None):  # expect: SIM004
+    return mapping, names
+
+
+def from_ctor(bank=list()):  # expect: SIM004
+    return bank

@@ -1,0 +1,18 @@
+"""SIM010: freelist discipline — leaked frames and use-after-release."""
+
+from repro.net.packet import make_data, release
+
+
+def leak(flow, host):
+    make_data(flow.id, flow.src, flow.dst, 0, 1000)  # expect: SIM010
+
+
+def use_after_release(pkt, stats):
+    release(pkt)
+    stats.last_seq = pkt.seq  # expect: SIM010
+
+
+def reassigned_is_fine(pkt, fresh, stats):
+    release(pkt)
+    pkt = fresh
+    stats.last_seq = pkt.seq  # fine: name re-bound after release

@@ -1,0 +1,13 @@
+"""SIM003: iteration over sets (PYTHONHASHSEED-ordered for id-hashed keys)."""
+
+
+def drain(ports):
+    pending = {p for p in ports if p.busy}
+    for port in pending:  # expect: SIM003
+        port.flush()
+    for port in set(ports):  # expect: SIM003
+        port.close()
+    sizes = [p.mtu for p in {ports[0], ports[1]}]  # expect: SIM003
+    for port in sorted(pending, key=lambda p: p.name):  # fine: ordered
+        port.reset()
+    return sizes

@@ -1,0 +1,19 @@
+"""SIM005 + SIM007: slot-less hot-path class, incomplete abstract surface."""
+
+from repro.sched.base import Scheduler
+
+
+class HalfScheduler(Scheduler):  # expect: SIM005,SIM007
+    """Implements enqueue but forgets dequeue, and declares no __slots__."""
+
+    def enqueue(self, pkt, qidx, now):
+        self._account_enqueue(pkt, qidx)
+
+
+class SlottedButLazy(Scheduler):  # expect: SIM007
+    """Slots are fine; the missing dequeue is not."""
+
+    __slots__ = ()
+
+    def enqueue(self, pkt, qidx, now):
+        self._account_enqueue(pkt, qidx)

@@ -1,0 +1,12 @@
+"""SIM006: callbacks capturing a stale `now` snapshot."""
+
+
+def arm_timer(sim, port):
+    now = sim.now
+    sim.schedule(1000, lambda: port.expire(now))  # expect: SIM006
+
+    def fire():
+        port.mark_at(now)
+
+    sim.schedule(2000, fire)  # expect: SIM006
+    sim.schedule(3000, lambda: port.expire(sim.now))  # fine: re-reads .now

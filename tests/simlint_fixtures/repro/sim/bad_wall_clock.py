@@ -1,0 +1,11 @@
+"""SIM001: wall-clock reads inside a sim-affecting package."""
+
+import time
+from datetime import datetime
+from time import perf_counter  # expect: SIM001
+
+
+def tick(sim):
+    sim.deadline = time.time() + 5.0  # expect: SIM001
+    stamp = datetime.now()  # expect: SIM001
+    return perf_counter(), stamp

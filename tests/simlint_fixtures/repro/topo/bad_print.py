@@ -1,0 +1,6 @@
+"""SIM009: print() in library code."""
+
+
+def build(sim, n):
+    print(f"building topology with {n} hosts")  # expect: SIM009
+    return [sim.host(i) for i in range(n)]

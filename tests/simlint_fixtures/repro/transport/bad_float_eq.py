@@ -1,0 +1,11 @@
+"""SIM008: float equality against simulated time."""
+
+
+def check(sim, pkt, rtt_ns):
+    if sim.now == rtt_ns / 2:  # expect: SIM008
+        return True
+    if pkt.enq_ts == 1.5:  # expect: SIM008
+        return True
+    if sim.now == rtt_ns:  # fine: integer == integer
+        return True
+    return sim.now >= rtt_ns / 2  # fine: ordering, not equality

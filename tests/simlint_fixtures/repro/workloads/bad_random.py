@@ -1,0 +1,12 @@
+"""SIM002: draws on the process-global random stream."""
+
+import random
+from random import Random
+
+
+def next_arrival(rate):
+    gap = random.expovariate(rate)  # expect: SIM002
+    rng = random.Random()  # expect: SIM002
+    other = Random()  # expect: SIM002
+    seeded = Random(42)  # fine: explicitly seeded
+    return gap, rng, other, seeded
