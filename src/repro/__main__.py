@@ -42,7 +42,10 @@ from repro.obs import (
     summarize_events,
     summarize_trace_file,
 )
+from repro.sim.equeue import BACKENDS
 from repro.units import KB
+
+_EQUEUE_CHOICES = sorted(BACKENDS) + ["auto"]
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -80,6 +83,13 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--ports", action="store_true",
         help="print the per-port traffic/mark/drop breakdown",
+    )
+    parser.add_argument(
+        "--equeue", default="heap", choices=_EQUEUE_CHOICES,
+        help=(
+            "event-queue backend (results are identical across backends; "
+            "'auto' picks by workload shape)"
+        ),
     )
     return parser
 
@@ -139,6 +149,14 @@ def build_sweep_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--no-cache", action="store_true", help="disable the result cache"
     )
+    parser.add_argument(
+        "--equeue", default="auto", choices=_EQUEUE_CHOICES,
+        help=(
+            "event-queue backend for every grid point (default auto: "
+            "picked per config from its workload shape; results are "
+            "identical across backends)"
+        ),
+    )
     return parser
 
 
@@ -170,6 +188,7 @@ def sweep_main(argv=None) -> int:
             n_queues=args.queues,
             pias=args.pias,
             buffer_bytes=args.buffer_kb * KB,
+            equeue=args.equeue,
         )
         for scheme, scheduler, transport, workload, load, seed in grid
     ]
@@ -280,6 +299,7 @@ def main(argv=None) -> int:
         pias=args.pias,
         seed=args.seed,
         buffer_bytes=args.buffer_kb * KB,
+        equeue=args.equeue,
     )
     tracer = Tracer(capacity=args.trace_limit) if args.trace else None
     result = run_experiment(cfg, tracer=tracer)

@@ -1,4 +1,4 @@
-"""The built-in simlint rules, SIM001..SIM010.
+"""The built-in simlint rules, SIM001..SIM011.
 
 Each rule encodes one project-specific invariant that a generic linter
 cannot express — they are all, one way or another, about keeping the
@@ -775,3 +775,46 @@ def check_freelist_discipline(mod: ModuleInfo) -> Iterator[Finding]:
                     )
                     del released[sub.id]
                     break
+
+
+# -- SIM011: heapq confinement ---------------------------------------------
+
+_EQUEUE_PKG = ("repro", "sim", "equeue")
+
+
+@rule(
+    "SIM011",
+    "heapq-in-equeue-only",
+    rationale=(
+        "Event ordering is the event-queue backends' contract: an ad-hoc "
+        "heapq elsewhere in simulation code re-implements the (time, seq) "
+        "total order in private and silently diverges from the pluggable "
+        "backends and their cross-backend equivalence tests."
+    ),
+)
+def check_heapq_confined(mod: ModuleInfo) -> Iterator[Finding]:
+    """``heapq`` may be imported only under ``repro.sim.equeue``: every
+    other module must order time-keyed work through the ``Simulator``
+    scheduling API so it runs identically on all backends.  Non-event
+    priority queues (e.g. a packet-ranking scheduler) are legitimate —
+    suppress with a pragma naming the ordering domain."""
+    parts = mod.package_parts()
+    if parts[: len(_EQUEUE_PKG)] == _EQUEUE_PKG:
+        return
+    for node in ast.walk(mod.tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.name == "heapq" or alias.name.startswith("heapq."):
+                    yield mod.finding(
+                        "SIM011",
+                        node,
+                        "heapq imported outside repro.sim.equeue — event "
+                        "ordering belongs to the pluggable queue backends",
+                    )
+        elif isinstance(node, ast.ImportFrom) and node.module == "heapq":
+            yield mod.finding(
+                "SIM011",
+                node,
+                "heapq imported outside repro.sim.equeue — event "
+                "ordering belongs to the pluggable queue backends",
+            )

@@ -10,21 +10,29 @@ Examples::
 
     # CI gate: fail (exit 1) if any scenario lost >30% events/sec
     python -m repro bench --compare benchmarks/baselines
+
+    # same gate on the ladder event-queue backend, comparison as JSON
+    python -m repro bench -s engine_churn --equeue ladder \\
+        --compare benchmarks/baselines --compare-json compare.json
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
+from typing import Dict, Optional
 
 from repro.bench.runner import (
     DEFAULT_THRESHOLD,
+    BenchResult,
     compare_results,
     load_results,
     run_scenario,
     write_result,
 )
 from repro.bench.scenarios import SCENARIOS
+from repro.sim.equeue import BACKENDS
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -49,6 +57,15 @@ def build_parser() -> argparse.ArgumentParser:
         help="repetitions per scenario; the fastest is kept (default 1)",
     )
     parser.add_argument(
+        "--equeue",
+        choices=sorted(BACKENDS) + ["auto"],
+        default="heap",
+        help=(
+            "event-queue backend to run the scenarios on (default heap; "
+            "results are bit-identical across backends, only speed moves)"
+        ),
+    )
+    parser.add_argument(
         "--out",
         default=".",
         metavar="DIR",
@@ -61,6 +78,15 @@ def build_parser() -> argparse.ArgumentParser:
         help=(
             "baseline BENCH_*.json file or directory; exit 1 when any "
             "scenario regressed beyond the threshold"
+        ),
+    )
+    parser.add_argument(
+        "--compare-json",
+        metavar="FILE",
+        default=None,
+        help=(
+            "also write the --compare outcome as JSON (one object per "
+            "scenario pair) — CI uploads this as an artifact"
         ),
     )
     parser.add_argument(
@@ -82,26 +108,49 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _load_baseline(path: str) -> Optional[Dict[str, BenchResult]]:
+    """Load the baseline, or print a one-line diagnosis and return None.
+
+    Anything a bad path or malformed file can raise — missing file,
+    unreadable JSON, a JSON document of the wrong shape (``TypeError``
+    covers e.g. a top-level array), missing keys — must surface as a
+    single actionable line, never a traceback.
+    """
+    try:
+        return load_results(path)
+    except (OSError, KeyError, ValueError, TypeError) as exc:
+        detail = str(exc) or exc.__class__.__name__
+        print(
+            f"error: cannot load baseline from {path!r}: {detail}",
+            file=sys.stderr,
+        )
+        return None
+
+
 def main(argv=None) -> int:
     args = build_parser().parse_args(argv)
     if args.list_scenarios:
         for name in sorted(SCENARIOS):
             print(f"{name}: {SCENARIOS[name].description}")
         return 0
+    if args.compare_json is not None and args.compare is None:
+        print("error: --compare-json requires --compare", file=sys.stderr)
+        return 2
+    # validate the baseline *before* spending minutes on scenarios
+    baseline = None
+    if args.compare is not None:
+        baseline = _load_baseline(args.compare)
+        if baseline is None:
+            return 2
     names = args.scenario or sorted(SCENARIOS)
     results = []
     for name in names:
-        result = run_scenario(name, repeat=args.repeat)
+        result = run_scenario(name, repeat=args.repeat, equeue=args.equeue)
         results.append(result)
         path = write_result(result, args.out)
         print(f"{result.describe()} -> {path}")
-    if args.compare is None:
+    if baseline is None:
         return 0
-    try:
-        baseline = load_results(args.compare)
-    except (OSError, KeyError, ValueError) as exc:
-        print(f"error: cannot load baseline: {exc}", file=sys.stderr)
-        return 2
     comparisons = compare_results(
         results, baseline, threshold=args.threshold
     )
@@ -113,6 +162,28 @@ def main(argv=None) -> int:
     missing = [r.scenario for r in results if r.scenario not in baseline]
     if missing:
         print(f"(no baseline for: {', '.join(missing)})")
+    if args.compare_json is not None:
+        payload = {
+            "equeue": args.equeue,
+            "threshold": args.threshold,
+            "regressed": regressed,
+            "comparisons": [
+                {
+                    "scenario": c.scenario,
+                    "baseline_eps": c.baseline_eps,
+                    "new_eps": c.new_eps,
+                    "ratio": round(c.ratio, 4),
+                    "regressed": c.regressed,
+                    "fingerprint_changed": c.fingerprint_changed,
+                }
+                for c in comparisons
+            ],
+            "missing_baselines": missing,
+        }
+        with open(args.compare_json, "w") as fh:
+            json.dump(payload, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"comparison JSON -> {args.compare_json}")
     return 1 if regressed else 0
 
 

@@ -48,6 +48,10 @@ class BenchResult:
     schema: int = SCHEMA_VERSION
     python: str = ""
     machine: str = ""
+    #: event-queue backend the scenario ran on (repro.sim.equeue name)
+    equeue: str = "heap"
+    #: the backend's structure counters from the kept repetition
+    equeue_stats: Dict[str, int] = field(default_factory=dict)
 
     def as_dict(self) -> Dict[str, object]:
         return {
@@ -63,6 +67,8 @@ class BenchResult:
             "repeat": self.repeat,
             "python": self.python,
             "machine": self.machine,
+            "equeue": self.equeue,
+            "equeue_stats": self.equeue_stats,
         }
 
     @classmethod
@@ -80,6 +86,8 @@ class BenchResult:
             schema=int(data.get("schema", SCHEMA_VERSION)),  # type: ignore[arg-type]
             python=str(data.get("python", "")),
             machine=str(data.get("machine", "")),
+            equeue=str(data.get("equeue", "heap")),
+            equeue_stats=dict(data.get("equeue_stats", {})),  # type: ignore[arg-type]
         )
 
     def describe(self) -> str:
@@ -89,22 +97,31 @@ class BenchResult:
             total = alloc["packets_allocated"] + alloc["packets_reused"]
             pct = 100.0 * alloc["packets_reused"] / total if total else 0.0
             reuse = f", {pct:.0f}% pkt reuse"
+        backend = f", equeue {self.equeue}" if self.equeue != "heap" else ""
         return (
             f"{self.scenario}: {self.events_per_sec / 1e3:.0f}k ev/s "
             f"({self.events} events, {self.wall_s:.2f}s wall, "
-            f"heap hwm {self.heap_hwm}{reuse})"
+            f"heap hwm {self.heap_hwm}{reuse}{backend})"
         )
 
 
-def run_scenario(name: str, repeat: int = 1) -> BenchResult:
-    """Run one pinned scenario ``repeat`` times; keep the fastest."""
+def run_scenario(
+    name: str, repeat: int = 1, equeue: str = "heap"
+) -> BenchResult:
+    """Run one pinned scenario ``repeat`` times; keep the fastest.
+
+    ``equeue`` selects the event-queue backend; the scenario's
+    deterministic fingerprint must come out identical regardless, which
+    the cross-repetition assertion below extends to cross-backend
+    comparisons made by the CLI.
+    """
     scenario = SCENARIOS[name]
-    best_profile: Optional[Dict[str, Number]] = None
+    best_profile: Optional[Dict[str, object]] = None
     fingerprint: Optional[Mapping[str, Number]] = None
     allocations: Dict[str, int] = {}
     for _ in range(max(1, repeat)):
         reset_freelist()
-        profile, run_fingerprint = scenario.run()
+        profile, run_fingerprint = scenario.run(equeue=equeue)
         allocated, reused, _free = freelist_stats()
         if fingerprint is not None and dict(run_fingerprint) != dict(
             fingerprint
@@ -126,16 +143,18 @@ def run_scenario(name: str, repeat: int = 1) -> BenchResult:
     assert best_profile is not None and fingerprint is not None
     return BenchResult(
         scenario=name,
-        events=int(best_profile["events"]),
-        wall_s=float(best_profile["wall_s"]),
-        events_per_sec=float(best_profile["events_per_sec"]),
-        heap_hwm=int(best_profile["heap_hwm"]),
-        rss_hwm_bytes=int(best_profile["rss_hwm_bytes"]),
+        events=int(best_profile["events"]),  # type: ignore[call-overload]
+        wall_s=float(best_profile["wall_s"]),  # type: ignore[arg-type]
+        events_per_sec=float(best_profile["events_per_sec"]),  # type: ignore[arg-type]
+        heap_hwm=int(best_profile["heap_hwm"]),  # type: ignore[call-overload]
+        rss_hwm_bytes=int(best_profile["rss_hwm_bytes"]),  # type: ignore[call-overload]
         allocations=allocations,
         fingerprint=dict(fingerprint),
         repeat=max(1, repeat),
         python=platform.python_version(),
         machine=platform.machine(),
+        equeue=str(best_profile.get("equeue", "heap")),
+        equeue_stats=dict(best_profile.get("equeue_stats", {})),  # type: ignore[arg-type,call-overload]
     )
 
 

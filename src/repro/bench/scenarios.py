@@ -1,7 +1,8 @@
 """The pinned scenarios: what each one stresses, and how it runs.
 
-A scenario is a name, a one-line description, and a zero-argument
-``run()`` returning ``(profile, fingerprint)``:
+A scenario is a name, a one-line description, and a ``run()`` (taking
+only an optional ``equeue`` backend-name keyword) returning
+``(profile, fingerprint)``:
 
 * ``profile`` — the :class:`~repro.obs.profile.RunProfile` dict for the
   run (events, heap_hwm, wall_s, events_per_sec, rss_hwm_bytes);
@@ -25,7 +26,8 @@ from repro.obs.profile import RunProfile
 from repro.sim.engine import Simulator
 
 Fingerprint = Mapping[str, Union[int, float]]
-RunFn = Callable[[], Tuple[Dict[str, Union[int, float]], Fingerprint]]
+Profile = Dict[str, object]
+RunFn = Callable[..., Tuple[Profile, Fingerprint]]
 
 
 class Scenario(NamedTuple):
@@ -34,7 +36,7 @@ class Scenario(NamedTuple):
     run: RunFn
 
 
-def _engine_churn() -> Tuple[Dict[str, Union[int, float]], Fingerprint]:
+def _engine_churn(equeue: str = "heap") -> Tuple[Profile, Fingerprint]:
     """Pure engine stress: a rotating timer set under constant churn.
 
     Models the shape RTO timers impose on the heap: a driver event fires
@@ -48,7 +50,7 @@ def _engine_churn() -> Tuple[Dict[str, Union[int, float]], Fingerprint]:
     steps = 200_000
     k_timers = 256
     timer_horizon_ns = 5_000
-    sim = Simulator()
+    sim = Simulator(equeue=equeue)
     timers = deque()
 
     def noop() -> None:
@@ -82,8 +84,8 @@ def _engine_churn() -> Tuple[Dict[str, Union[int, float]], Fingerprint]:
 
 
 def _experiment(**overrides) -> RunFn:
-    def run() -> Tuple[Dict[str, Union[int, float]], Fingerprint]:
-        result = run_experiment(ExperimentConfig(**overrides))
+    def run(equeue: str = "heap") -> Tuple[Profile, Fingerprint]:
+        result = run_experiment(ExperimentConfig(equeue=equeue, **overrides))
         fingerprint = {
             "completed": result.completed,
             "total": result.total,

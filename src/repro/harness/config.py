@@ -84,11 +84,22 @@ class ExperimentConfig:
     # bookkeeping
     seed: int = 1
     max_sim_ns: int = 0            # 0 -> auto (generous multiple of last arrival)
+    # future-event-list backend: a repro.sim.equeue.BACKENDS name, or
+    # "auto" to let resolved_equeue pick from the workload shape.  Pure
+    # performance knob — every backend yields bit-identical results.
+    equeue: str = "heap"
 
     def validate(self) -> None:
         """Fail fast on inconsistent combinations."""
+        from repro.sim.equeue import BACKENDS
+
         if self.topology not in ("star", "leafspine"):
             raise ValueError(f"unknown topology {self.topology!r}")
+        if self.equeue != "auto" and self.equeue not in BACKENDS:
+            raise ValueError(
+                f"unknown equeue backend {self.equeue!r}: expected one of "
+                f"{sorted(BACKENDS)} or 'auto'"
+            )
         if not 0.0 < self.load < 1.0:
             raise ValueError(f"load must be in (0,1), got {self.load}")
         if self.n_flows < 1:
@@ -137,3 +148,19 @@ class ExperimentConfig:
     def n_low(self) -> int:
         """Low-priority (fair-queued) queues under sp_* schedulers."""
         return self.n_queues - self.n_high
+
+    @property
+    def resolved_equeue(self) -> str:
+        """The concrete backend name after applying the ``auto`` heuristic.
+
+        The heap wins at small event populations (its sifts are pure C);
+        the ladder wins once the future-event list carries a few hundred
+        entries.  Leaf-spine fabrics and large flow counts are the
+        populations where that crossover is behind us, so ``auto`` picks
+        the ladder there and stays on the heap for small star runs.
+        """
+        if self.equeue != "auto":
+            return self.equeue
+        if self.topology == "leafspine" or self.n_flows >= 100:
+            return "ladder"
+        return "heap"

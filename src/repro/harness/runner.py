@@ -58,10 +58,11 @@ class ExperimentResult:
     #: counters plus FCT (and, when traced, sojourn) histograms.  Every
     #: value is derived from simulated state, so it is deterministic.
     metrics: Dict[str, dict] = field(repr=False, default_factory=dict)
-    #: RunProfile.as_dict() — events, heap high-water mark, wall time.
+    #: RunProfile.as_dict() — events, heap high-water mark, wall time,
+    #: plus the event-queue backend name and its structure counters.
     #: Wall-clock derived, hence *not* deterministic (kept out of sweep
     #: cache payloads).
-    profile: Dict[str, float] = field(repr=False, default_factory=dict)
+    profile: Dict[str, object] = field(repr=False, default_factory=dict)
 
     @property
     def all_completed(self) -> bool:
@@ -81,7 +82,7 @@ def run_experiment(
     ``metrics`` — which ``tests/test_trace_determinism.py`` asserts.
     """
     cfg.validate()
-    sim = Simulator()
+    sim = Simulator(equeue=cfg.resolved_equeue)
     rng = RngFactory(cfg.seed)
     topo = _build_topology(sim, cfg)
     flows = _build_flows(cfg, rng, topo)

@@ -18,6 +18,13 @@ if TYPE_CHECKING:  # pragma: no cover
     from repro.transport.base import SenderBase
     from repro.transport.receiver import Receiver
 
+# hoisted enum members: receive() compares against these per packet, and
+# a module global is one dict probe vs. the Enum class-attribute protocol
+_DATA = PacketKind.DATA
+_ACK = PacketKind.ACK
+_PROBE = PacketKind.PROBE
+_PROBE_REPLY = PacketKind.PROBE_REPLY
+
 
 class Host:
     """One server: NIC + flow demux.
@@ -67,17 +74,17 @@ class Host:
         frame, so it is released to the packet freelist for reuse.
         """
         kind = pkt.kind
-        if kind == PacketKind.DATA:
+        if kind == _DATA:
             receiver = self._receivers.get(pkt.flow_id)
             if receiver is not None:
                 receiver.on_data(pkt)
-        elif kind == PacketKind.ACK:
+        elif kind == _ACK:
             sender = self._senders.get(pkt.flow_id)
             if sender is not None:
                 sender.on_ack(pkt)
-        elif kind == PacketKind.PROBE:
+        elif kind == _PROBE:
             self._echo_probe(pkt)
-        elif kind == PacketKind.PROBE_REPLY:
+        elif kind == _PROBE_REPLY:
             handler = self._probe_handlers.get(pkt.flow_id)
             if handler is not None:
                 handler(pkt)

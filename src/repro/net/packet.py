@@ -132,6 +132,11 @@ class Packet:
 #: released frames awaiting reuse (process-wide; the simulator is
 #: single-threaded and reset is total, so sharing across runs is safe)
 _free: List[Packet] = []
+
+# hoisted enum members for the freelist constructors (a module global is
+# one dict probe vs. the Enum class-attribute protocol, per packet)
+_KIND_DATA = PacketKind.DATA
+_KIND_ACK = PacketKind.ACK
 #: bound on retained frames — beyond this, released packets are simply
 #: left to the garbage collector (covers pathological fan-in bursts)
 FREELIST_MAX = 8192
@@ -191,7 +196,7 @@ def make_data(
         pkt.flow_id = flow_id
         pkt.src = src
         pkt.dst = dst
-        pkt.kind = PacketKind.DATA
+        pkt.kind = _KIND_DATA
         pkt.seq = seq
         pkt.payload = payload
         pkt.wire_size = payload + HEADER
@@ -229,7 +234,7 @@ def make_ack(
         pkt.flow_id = data.flow_id
         pkt.src = data.dst
         pkt.dst = data.src
-        pkt.kind = PacketKind.ACK
+        pkt.kind = _KIND_ACK
         pkt.seq = ack
         pkt.payload = 0
         pkt.wire_size = ACK_SIZE

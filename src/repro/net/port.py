@@ -23,8 +23,9 @@ Lifecycle of a packet through a port::
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Callable, Optional
+from typing import TYPE_CHECKING, Callable, Dict, Optional
 
+from repro.net.classifier import DscpClassifier
 from repro.net.link import Link
 from repro.net.packet import Packet
 from repro.net.queue import PacketQueue
@@ -79,7 +80,6 @@ class EgressPort:
         "buffer_bytes",
         "scheduler",
         "aqm",
-        "link",
         "classify",
         "occupancy",
         "busy",
@@ -91,8 +91,14 @@ class EgressPort:
         "_fifo",
         "_tx_done_cb",
         "_classify",
+        "_cls_get",
+        "_cls_max",
         "_aqm_enq",
         "_aqm_deq",
+        "_link",
+        "_link_dst",
+        "_link_delay",
+        "_tx_cache",
     )
 
     def __init__(
@@ -112,10 +118,24 @@ class EgressPort:
         self.buffer_bytes = buffer_bytes
         self.scheduler = scheduler
         self.aqm = aqm
+        # per-size serialization-time cache: wire sizes are few and the
+        # rate is fixed at construction, so the ceil-division runs once
+        # per distinct size instead of once per packet
+        self._tx_cache: Dict[int, int] = {}
         self.link = link
         self.classify = classify or (lambda pkt: 0)
         # hot-path cache: None means "everything to queue 0", no call made
         self._classify = classify
+        # DSCP-classifier bypass: the standard classifier's decision is a
+        # dict probe or a clamp, so receive() inlines it instead of
+        # paying a Python call per packet (_cls_max < 0 = not applicable)
+        self._cls_get = None
+        self._cls_max = -1
+        if isinstance(classify, DscpClassifier):
+            self._classify = None
+            self._cls_max = classify.n_queues - 1
+            if classify.table is not None:
+                self._cls_get = classify.table.get
         self.occupancy = 0
         self.busy = False
         self.stats = PortStats()
@@ -161,6 +181,20 @@ class EgressPort:
             self._aqm_enq = None
             self._aqm_deq = None
 
+    @property
+    def link(self) -> Optional[Link]:
+        """The output link; assignable (topologies wire ports up late)."""
+        return self._link
+
+    @link.setter
+    def link(self, link: Optional[Link]) -> None:
+        # cache the destination node and delay so the per-packet transmit
+        # path skips the link indirection (the node's ``receive`` is
+        # still looked up per packet — tests patch it on instances)
+        self._link = link
+        self._link_dst = link.dst if link is not None else None
+        self._link_delay = link.delay_ns if link is not None else 0
+
     # -- ingress ---------------------------------------------------------
 
     def receive(self, pkt: Packet) -> None:
@@ -175,8 +209,18 @@ class EgressPort:
         stats.rx_pkts += 1
         size = pkt.wire_size
         stats.rx_bytes += size
-        classify = self._classify
-        qidx = classify(pkt) if classify is not None else 0
+        cmax = self._cls_max
+        if cmax >= 0:
+            get = self._cls_get
+            if get is not None:
+                qidx = get(pkt.dscp, cmax)
+            else:
+                qidx = pkt.dscp
+                if qidx > cmax:
+                    qidx = cmax
+        else:
+            classify = self._classify
+            qidx = classify(pkt) if classify is not None else 0
         if self.occupancy + size > self.buffer_bytes:
             self._drop(pkt, qidx, "buffer")
             return
@@ -185,19 +229,25 @@ class EgressPort:
             self._drop(pkt, qidx, "pool")
             return
         scheduler = self.scheduler
-        queue = scheduler.queues[qidx]
         now = self.sim.now
         pkt.enq_ts = now
         aqm_enq = self._aqm_enq
-        if aqm_enq is not None and aqm_enq(self, queue, pkt, now):
-            self._mark(pkt, queue, "enq")
+        if aqm_enq is not None:
+            queue = scheduler.queues[qidx]
+            if aqm_enq(self, queue, pkt, now):
+                self._mark(pkt, queue, "enq")
         self.occupancy += size
         if pool is not None:
             pool.occupancy += size
         fifo = self._fifo
         if fifo is not None:
-            # single-queue FIFO bypass (enqueue side): push directly
-            fifo.push(pkt)
+            # single-queue FIFO bypass (enqueue side): inlined
+            # PacketQueue.push + byte accounting
+            fifo._pkts.append(pkt)
+            fifo.bytes = fbytes = fifo.bytes + size
+            fifo.enqueued_pkts += 1
+            if fbytes > fifo.max_bytes_seen:
+                fifo.max_bytes_seen = fbytes
             scheduler.total_bytes += size
         else:
             scheduler.enqueue(pkt, qidx, now)
@@ -216,17 +266,24 @@ class EgressPort:
         fifo = self._fifo
         if fifo is not None:
             # single-queue FIFO bypass: skip the scheduler's dequeue
-            # indirection and its (packet, queue) tuple
-            if not fifo:
+            # indirection and its (packet, queue) tuple; inlined
+            # PacketQueue.pop + byte accounting
+            pkts = fifo._pkts
+            if not pkts:
                 return
-            pkt = fifo.pop()
+            pkt = pkts.popleft()
             queue = fifo
-            self.scheduler.total_bytes -= pkt.wire_size
+            size = pkt.wire_size
+            fifo.bytes -= size
+            fifo.dequeued_pkts += 1
+            fifo.dequeued_bytes += size
+            self.scheduler.total_bytes -= size
         else:
             result = self.scheduler.dequeue(now)
             if result is None:
                 return
             pkt, queue = result
+            size = pkt.wire_size
         if self.tracer is not None:
             self.tracer.dequeue(
                 now, self.name, self._qindex[id(queue)], pkt, now - pkt.enq_ts
@@ -234,7 +291,6 @@ class EgressPort:
         aqm_deq = self._aqm_deq
         if aqm_deq is not None and aqm_deq(self, queue, pkt, now):
             self._mark(pkt, queue, "deq")
-        size = pkt.wire_size
         self.occupancy -= size
         pool = self.pool
         if pool is not None:
@@ -242,11 +298,22 @@ class EgressPort:
         if self.occupancy_tracker is not None:
             self.occupancy_tracker(now, self.occupancy)
         self.busy = True
-        tx_ns = -(-size * _BITS_NS // self.rate_bps)
-        sim.schedule(tx_ns, self._tx_done_cb)
-        link = self.link
-        if link is not None:
-            sim.schedule_call(tx_ns + link.delay_ns, link.dst.receive, pkt)
+        try:
+            tx_ns = self._tx_cache[size]
+        except KeyError:
+            tx_ns = -(-size * _BITS_NS // self.rate_bps)
+            self._tx_cache[size] = tx_ns
+        dst = self._link_dst
+        if dst is not None:
+            sim.schedule_tx(
+                tx_ns,
+                self._tx_done_cb,
+                tx_ns + self._link_delay,
+                dst.receive,
+                pkt,
+            )
+        else:
+            sim.schedule(tx_ns, self._tx_done_cb)
         stats = self.stats
         stats.tx_pkts += 1
         stats.tx_bytes += size

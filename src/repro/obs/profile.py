@@ -9,8 +9,8 @@ time into the record every perf PR cites as its before/after evidence.
 from __future__ import annotations
 
 import sys
-from dataclasses import dataclass
-from typing import Dict, Union
+from dataclasses import dataclass, field
+from typing import Dict
 
 from repro.sim.engine import Simulator
 
@@ -22,7 +22,11 @@ class RunProfile:
     ``events`` and ``heap_hwm`` are deterministic properties of the run;
     ``wall_s`` / ``events_per_sec`` / ``rss_hwm_bytes`` describe the host
     executing it and vary between machines (the sweep cache therefore
-    persists only the deterministic fields).
+    persists only the deterministic fields).  ``equeue`` names the
+    future-event-list backend that ran the simulation and
+    ``equeue_stats`` carries its structure counters (bucket refills,
+    resizes, overflow migrations, ...), so perf trajectories can
+    attribute an events/sec move to the right data structure.
     """
 
     events: int = 0
@@ -31,6 +35,10 @@ class RunProfile:
     events_per_sec: float = 0.0
     #: process high-water RSS (bytes), 0 where the platform can't say
     rss_hwm_bytes: int = 0
+    #: event-queue backend name (repro.sim.equeue registry key)
+    equeue: str = "heap"
+    #: backend structure counters (EventQueue.stats(); empty for the heap)
+    equeue_stats: Dict[str, int] = field(default_factory=dict)
 
     @classmethod
     def capture(cls, sim: Simulator, wall_s: float) -> "RunProfile":
@@ -41,15 +49,19 @@ class RunProfile:
             wall_s=wall_s,
             events_per_sec=events / wall_s if wall_s > 0 else 0.0,
             rss_hwm_bytes=_rss_high_water(),
+            equeue=sim.equeue_name,
+            equeue_stats=sim.equeue_stats(),
         )
 
-    def as_dict(self) -> Dict[str, Union[int, float]]:
+    def as_dict(self) -> Dict[str, object]:
         return {
             "events": self.events,
             "heap_hwm": self.heap_hwm,
             "wall_s": self.wall_s,
             "events_per_sec": self.events_per_sec,
             "rss_hwm_bytes": self.rss_hwm_bytes,
+            "equeue": self.equeue,
+            "equeue_stats": dict(self.equeue_stats),
         }
 
     def describe(self) -> str:
@@ -59,6 +71,8 @@ class RunProfile:
             f"{self.events_per_sec / 1e3:.0f}k ev/s",
             f"heap high-water {self.heap_hwm}",
         ]
+        if self.equeue != "heap":
+            parts.append(f"equeue {self.equeue}")
         if self.rss_hwm_bytes:
             parts.append(f"rss high-water {self.rss_hwm_bytes / 2**20:.0f} MB")
         return ", ".join(parts)

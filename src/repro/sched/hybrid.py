@@ -100,28 +100,38 @@ class SpDwrrScheduler(_SpOverScheduler):
     model.
     """
 
-    __slots__ = ()
+    __slots__ = ("_high0", "_lo_active", "_lo_deficit", "_lo_refresh")
 
     supports_rounds = True  # rounds exist within the DWRR band
+
+    def __init__(self, queues: List[PacketQueue], n_high: int = 1) -> None:
+        super().__init__(queues, n_high)
+        # flatten one attribute hop off every per-packet access: the DWRR
+        # band's structures are created once and only ever mutated in
+        # place, so aliasing them here is safe
+        low = self._low
+        self._lo_active = low._active
+        self._lo_deficit = low._deficit
+        self._lo_refresh = low._needs_refresh
+        # the overwhelmingly common shape is a single strict queue; skip
+        # the list iteration for it
+        self._high0 = self._high[0] if len(self._high) == 1 else None
 
     def _make_low(self, low_queues: List[PacketQueue], n_high: int) -> Scheduler:
         return DwrrScheduler(_reindex(low_queues))
 
     def enqueue(self, pkt: Packet, qidx: int, now: int) -> None:
         size = pkt.wire_size
-        n_high = self._n_high
-        if qidx < n_high:
-            queue = self.queues[qidx]
-        else:
+        queue = self.queues[qidx]
+        if qidx >= self._n_high:
             low = self._low
-            queue = low.queues[qidx - n_high]
             lidx = queue.index
             low.total_bytes += size
             if not low._in_active[lidx]:
-                low._active.append(queue)
+                self._lo_active.append(queue)
                 low._in_active[lidx] = True
-                low._deficit[lidx] = 0
-                low._needs_refresh[lidx] = True
+                self._lo_deficit[lidx] = 0
+                self._lo_refresh[lidx] = True
                 low._last_turn_start[lidx] = None
         # inlined PacketQueue.push + byte accounting (hot path)
         queue._pkts.append(pkt)
@@ -132,7 +142,8 @@ class SpDwrrScheduler(_SpOverScheduler):
         self.total_bytes += size
 
     def dequeue(self, now: int) -> Optional[Tuple[Packet, PacketQueue]]:
-        for queue in self._high:
+        queue = self._high0
+        if queue is not None:
             if queue._pkts:
                 # inlined PacketQueue.pop + byte accounting (hot path)
                 pkt = queue._pkts.popleft()
@@ -142,13 +153,24 @@ class SpDwrrScheduler(_SpOverScheduler):
                 queue.dequeued_bytes += size
                 self.total_bytes -= size
                 return pkt, queue
+        else:
+            for queue in self._high:
+                if queue._pkts:
+                    pkt = queue._pkts.popleft()
+                    size = pkt.wire_size
+                    queue.bytes -= size
+                    queue.dequeued_pkts += 1
+                    queue.dequeued_bytes += size
+                    self.total_bytes -= size
+                    return pkt, queue
         low = self._low
-        active = low._active
-        deficit = low._deficit
-        refresh = low._needs_refresh
+        active = self._lo_active
+        deficit = self._lo_deficit
+        refresh = self._lo_refresh
         while active:
             queue = active[0]
             idx = queue.index
+            pkts = queue._pkts
             if refresh[idx]:
                 # inlined DwrrScheduler._start_turn (hot path)
                 last = low._last_turn_start[idx]
@@ -162,17 +184,17 @@ class SpDwrrScheduler(_SpOverScheduler):
                 low._last_turn_start[idx] = now
                 deficit[idx] += queue.quantum
                 refresh[idx] = False
-            head_size = queue._pkts[0].wire_size
+            head_size = pkts[0].wire_size
             if head_size <= deficit[idx]:
                 deficit[idx] -= head_size
                 # inlined PacketQueue.pop + byte accounting (hot path)
-                pkt = queue._pkts.popleft()
+                pkt = pkts.popleft()
                 queue.bytes -= head_size
                 queue.dequeued_pkts += 1
                 queue.dequeued_bytes += head_size
                 low.total_bytes -= head_size
                 self.total_bytes -= head_size
-                if not queue._pkts:
+                if not pkts:
                     active.popleft()
                     low._in_active[idx] = False
                     deficit[idx] = 0

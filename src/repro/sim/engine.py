@@ -1,20 +1,31 @@
-"""A small, fast discrete-event engine.
+"""A small, fast discrete-event engine with pluggable event queues.
 
-The engine is a classic binary-heap event loop tuned for CPython: a
-scheduled callback is stored as a plain ``(time, seq, fn)`` tuple (or
+A scheduled callback is stored as a plain ``(time, seq, fn)`` tuple (or
 ``(time, seq, fn, arg)`` for the argument-carrying fast path), so every
-heap sift compares machine integers in C — no ``Event`` object is
-allocated and no Python-level ``__lt__`` ever runs.  Events at the same
-timestamp fire in scheduling order (the monotonically increasing ``seq``
-breaks ties, and because it is unique the comparison never reaches the
-callback slot, which is why mixed 3- and 4-tuples can share the heap).
+ordering comparison runs on machine integers in C — no ``Event`` object
+is allocated and no Python-level ``__lt__`` ever runs.  Events at the
+same timestamp fire in scheduling order (the monotonically increasing
+``seq`` breaks ties, and because it is unique the comparison never
+reaches the callback slot, which is why mixed 3- and 4-tuples can share
+one structure).
 
-Cancellation is handle-based and lazy: ``schedule`` returns the pushed
-tuple as an opaque handle, and :meth:`Simulator.cancel` records its
-sequence number in a side set that the run loop consults (and drains)
-when the entry surfaces.  The heap never needs re-organising, and the
-common case — no cancellation outstanding — costs one truthiness check
-per event.
+The future-event list itself is a pluggable backend from
+:mod:`repro.sim.equeue`: the default binary heap, a ladder/calendar
+queue, or a hierarchical timer wheel — all guaranteed to dispatch in the
+exact same ``(time, seq)`` total order, so the choice is purely a
+performance knob (``Simulator(equeue="ladder")``).  When the default
+heap is selected the engine keeps its historical *inlined* dispatch and
+push paths over the raw heap list, so the default costs nothing over the
+pre-backend engine; other backends supply their own
+:meth:`~repro.sim.equeue.base.EventQueue.run_loop`.
+
+Cancellation is handle-based and (by default) lazy: ``schedule`` returns
+the pushed tuple as an opaque handle, and :meth:`Simulator.cancel` first
+offers the entry to the backend — the timer wheel removes it physically
+in O(1) — falling back to a side set of cancelled sequence numbers that
+the run loop consults (and drains) when the entry surfaces.  The common
+case — no cancellation outstanding — costs one truthiness check per
+event.
 
 Design notes
 ------------
@@ -28,18 +39,44 @@ Design notes
 
 from __future__ import annotations
 
-import heapq
-from typing import Any, Callable, Iterable, List, Optional, Set, Tuple
+import gc
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    Iterable,
+    List,
+    Optional,
+    Set,
+    Tuple,
+)
+
+from bisect import insort
+
+from repro.sim.equeue import EQueueSpec, EventQueue, make_equeue
+from repro.sim.equeue.heap import HeapEventQueue, heappop, heappush
+from repro.sim.equeue.ladder import LadderEventQueue
 
 #: The opaque handle returned by ``schedule``/``schedule_at``/``schedule_call``
-#: — the heap entry itself.  ``handle[0]`` is the absolute fire time (ns);
+#: — the queue entry itself.  ``handle[0]`` is the absolute fire time (ns);
 #: treat everything else as private and pass the handle to
 #: :meth:`Simulator.cancel` to cancel it.
 EventHandle = Tuple[Any, ...]
 
+#: "no bound" sentinel for run(): beyond any reachable time or event count
+#: (~292 years of simulated nanoseconds), while keeping the per-event stop
+#: comparisons int-vs-int
+_NEVER = 2**63 - 1
+
 
 class Simulator:
     """The event loop.
+
+    ``equeue`` selects the future-event-list backend: a name from
+    :data:`repro.sim.equeue.BACKENDS` (``"heap"``, ``"ladder"``,
+    ``"wheel"``), ``"auto"``, a pre-built
+    :class:`~repro.sim.equeue.base.EventQueue` instance, or ``None`` for
+    the default heap.
 
     >>> sim = Simulator()
     >>> fired = []
@@ -52,7 +89,11 @@ class Simulator:
 
     __slots__ = (
         "now",
+        "_equeue",
+        "_eq_push",
+        "_eq_cancel",
         "_heap",
+        "_ladder",
         "_seq",
         "_cancelled",
         "_running",
@@ -60,16 +101,36 @@ class Simulator:
         "heap_hwm",
     )
 
-    def __init__(self) -> None:
+    def __init__(self, equeue: EQueueSpec = None) -> None:
         self.now: int = 0
-        self._heap: List[EventHandle] = []
         self._seq: int = 0
-        #: seqs of heap entries cancelled but not yet popped (lazy deletion)
+        #: seqs of entries cancelled but not physically removed (lazy deletion)
         self._cancelled: Set[int] = set()
+        eq = make_equeue(equeue)
+        self._equeue: EventQueue = eq
+        eq.attach(self._cancelled)
+        #: bound push — single-attribute hot path for non-heap backends
+        self._eq_push: Callable[[EventHandle], int] = eq.push
+        #: bound cancel for backends with physical removal, else ``None``
+        #: (saves a guaranteed-False Python call per lazy cancellation)
+        self._eq_cancel: Optional[Callable[[EventHandle], bool]] = (
+            eq.cancel if eq.physical_cancel else None
+        )
+        #: the raw heap list when the default backend is active (the
+        #: inlined fast paths below key off this), else ``None``
+        self._heap: Optional[List[EventHandle]] = (
+            eq.entries if isinstance(eq, HeapEventQueue) else None
+        )
+        #: the ladder, when active — its bucket routing is cheap enough
+        #: that the per-push method call would dominate it, so the
+        #: schedule methods inline it exactly like the heap's heappush
+        self._ladder: Optional[LadderEventQueue] = (
+            eq if isinstance(eq, LadderEventQueue) else None
+        )
         self._running = False
         #: lifetime count of executed (non-cancelled) events — profiling
         self.events_executed: int = 0
-        #: high-water mark of the pending-event heap (cancelled included)
+        #: high-water mark of the pending-event pool (cancelled included)
         self.heap_hwm: int = 0
 
     # -- scheduling -----------------------------------------------------
@@ -84,9 +145,30 @@ class Simulator:
         self._seq = seq = self._seq + 1
         entry = (self.now + delay_ns, seq, fn)
         heap = self._heap
-        heapq.heappush(heap, entry)
-        if len(heap) > self.heap_hwm:
-            self.heap_hwm = len(heap)
+        if heap is not None:
+            heappush(heap, entry)
+            n = len(heap)
+            if n > self.heap_hwm:
+                self.heap_hwm = n
+        else:
+            lad = self._ladder
+            if lad is None:
+                n = self._eq_push(entry)
+                if n > self.heap_hwm:
+                    self.heap_hwm = n
+            else:
+                # inlined LadderEventQueue.push, cheapest case first: a
+                # due-now entry bisects straight into the active run with
+                # no counter or high-water-mark work (the ladder samples
+                # its pool hwm at refill; run() folds it back in)
+                b = entry[0] >> lad._shift
+                if b <= lad._cur:
+                    insort(lad._bottom, entry, lad._bi)
+                elif b < lad._limit:
+                    lad._ring[b & lad._mask].append(entry)
+                    lad._count += 1
+                else:
+                    lad.push(entry)
         return entry
 
     def schedule_at(self, time_ns: int, fn: Callable[[], None]) -> EventHandle:
@@ -98,9 +180,30 @@ class Simulator:
         self._seq = seq = self._seq + 1
         entry = (time_ns, seq, fn)
         heap = self._heap
-        heapq.heappush(heap, entry)
-        if len(heap) > self.heap_hwm:
-            self.heap_hwm = len(heap)
+        if heap is not None:
+            heappush(heap, entry)
+            n = len(heap)
+            if n > self.heap_hwm:
+                self.heap_hwm = n
+        else:
+            lad = self._ladder
+            if lad is None:
+                n = self._eq_push(entry)
+                if n > self.heap_hwm:
+                    self.heap_hwm = n
+            else:
+                # inlined LadderEventQueue.push, cheapest case first: a
+                # due-now entry bisects straight into the active run with
+                # no counter or high-water-mark work (the ladder samples
+                # its pool hwm at refill; run() folds it back in)
+                b = entry[0] >> lad._shift
+                if b <= lad._cur:
+                    insort(lad._bottom, entry, lad._bi)
+                elif b < lad._limit:
+                    lad._ring[b & lad._mask].append(entry)
+                    lad._count += 1
+                else:
+                    lad.push(entry)
         return entry
 
     def schedule_call(
@@ -110,17 +213,98 @@ class Simulator:
 
         This is the monotonic fast path used by ports and links: the delay
         is trusted to be non-negative (serialization and propagation delays
-        are by construction), and the single argument rides in the heap
+        are by construction), and the single argument rides in the queue
         entry itself, so no closure or callable wrapper is allocated per
         event.  ``fn`` must accept exactly one positional argument.
         """
         self._seq = seq = self._seq + 1
         entry = (self.now + delay_ns, seq, fn, arg)
         heap = self._heap
-        heapq.heappush(heap, entry)
-        if len(heap) > self.heap_hwm:
-            self.heap_hwm = len(heap)
+        if heap is not None:
+            heappush(heap, entry)
+            n = len(heap)
+            if n > self.heap_hwm:
+                self.heap_hwm = n
+        else:
+            lad = self._ladder
+            if lad is None:
+                n = self._eq_push(entry)
+                if n > self.heap_hwm:
+                    self.heap_hwm = n
+            else:
+                # inlined LadderEventQueue.push, cheapest case first: a
+                # due-now entry bisects straight into the active run with
+                # no counter or high-water-mark work (the ladder samples
+                # its pool hwm at refill; run() folds it back in)
+                b = entry[0] >> lad._shift
+                if b <= lad._cur:
+                    insort(lad._bottom, entry, lad._bi)
+                elif b < lad._limit:
+                    lad._ring[b & lad._mask].append(entry)
+                    lad._count += 1
+                else:
+                    lad.push(entry)
         return entry
+
+    def schedule_tx(
+        self,
+        tx_ns: int,
+        done_fn: Callable[[], None],
+        rx_ns: int,
+        rx_fn: Callable[[Any], None],
+        pkt: Any,
+    ) -> None:
+        """Hot-path scheduling of a transmit pair.
+
+        Every transmitted packet schedules exactly two events — the
+        serializer-done tick at ``tx_ns`` and the propagated delivery
+        ``rx_fn(pkt)`` at ``rx_ns`` — so one call covers both, paying the
+        call and queue-routing prologue once.  Delays are trusted to be
+        non-negative and ``rx_ns >= tx_ns``; no handles are returned
+        (ports never cancel these).  The done tick takes the lower seq,
+        exactly as two back-to-back ``schedule``/``schedule_call`` calls
+        would order it.
+        """
+        seq = self._seq + 1
+        self._seq = seq + 1
+        now = self.now
+        e1 = (now + tx_ns, seq, done_fn)
+        e2 = (now + rx_ns, seq + 1, rx_fn, pkt)
+        heap = self._heap
+        if heap is not None:
+            heappush(heap, e1)
+            heappush(heap, e2)
+            n = len(heap)
+            if n > self.heap_hwm:
+                self.heap_hwm = n
+        else:
+            lad = self._ladder
+            if lad is None:
+                self._eq_push(e1)
+                n = self._eq_push(e2)
+                if n > self.heap_hwm:
+                    self.heap_hwm = n
+            else:
+                # inlined LadderEventQueue.push twice (see schedule_call)
+                shift = lad._shift
+                cur = lad._cur
+                limit = lad._limit
+                b = e1[0] >> shift
+                if b <= cur:
+                    insort(lad._bottom, e1, lad._bi)
+                elif b < limit:
+                    lad._ring[b & lad._mask].append(e1)
+                    lad._count += 1
+                else:
+                    lad.push(e1)
+                b = e2[0] >> shift
+                if b <= cur:
+                    insort(lad._bottom, e2, lad._bi)
+                elif b < limit:
+                    lad._ring[b & lad._mask].append(e2)
+                    lad._count += 1
+                else:
+                    lad.push(e2)
 
     def schedule_many(
         self, items: Iterable[Tuple[int, Callable[[], None]]]
@@ -132,31 +316,45 @@ class Simulator:
         cancelled.  Delays are trusted to be non-negative.
         """
         now = self.now
-        heap = self._heap
         seq = self._seq
-        push = heapq.heappush
-        for delay_ns, fn in items:
-            seq += 1
-            push(heap, (now + delay_ns, seq, fn))
+        heap = self._heap
+        if heap is not None:
+            push = heappush
+            for delay_ns, fn in items:
+                seq += 1
+                push(heap, (now + delay_ns, seq, fn))
+            n = len(heap)
+        else:
+            eq_push = self._eq_push
+            n = 0
+            for delay_ns, fn in items:
+                seq += 1
+                n = eq_push((now + delay_ns, seq, fn))
         self._seq = seq
-        if len(heap) > self.heap_hwm:
-            self.heap_hwm = len(heap)
+        if n > self.heap_hwm:
+            self.heap_hwm = n
 
     def cancel(self, handle: EventHandle) -> None:
-        """Cancel a scheduled event (lazy: skipped when popped).
+        """Cancel a scheduled event.
 
-        Cancelling an event that has already fired is a harmless no-op in
-        practice — the stale sequence number simply sits in the side set —
-        but callers should not rely on that as a pattern.
+        The backend gets first refusal — the timer wheel removes the
+        entry physically in O(1); every other backend declines, and the
+        sequence number goes into the lazy side set that dispatch skips
+        (and drains) when the entry surfaces.  Cancelling an event that
+        has already fired is a harmless no-op in practice — the stale
+        sequence number simply sits in the side set — but callers should
+        not rely on that as a pattern.
         """
-        self._cancelled.add(handle[1])
+        cancel = self._eq_cancel
+        if cancel is None or not cancel(handle):
+            self._cancelled.add(handle[1])
 
     # -- execution ------------------------------------------------------
 
     def run(self, until: Optional[int] = None, max_events: Optional[int] = None) -> int:
         """Run events in order.
 
-        Stops when the heap is empty, when the next event is later than
+        Stops when the queue is empty, when the next event is later than
         ``until``, or after ``max_events`` events.  The clock is advanced
         to ``until`` only when no event remains at or before it — if the
         run stopped on ``max_events`` with earlier events still pending,
@@ -164,35 +362,56 @@ class Simulator:
         time backwards.  Returns the number of events executed.
         """
         heap = self._heap
-        pop = heapq.heappop
         cancelled = self._cancelled
         # hoist the stop conditions out of the loop: compare against
-        # sentinels instead of re-testing `is not None` per event
-        until_bound = float("inf") if until is None else until
-        budget = float("inf") if max_events is None else max_events
+        # integer sentinels instead of re-testing `is not None` (or
+        # paying an int/float comparison) per event
+        until_bound = _NEVER if until is None else until
+        budget = _NEVER if max_events is None else max_events
         executed = 0
         self._running = True
+        # Pause the cyclic collector for the duration of the loop: the
+        # hot path allocates nothing but short-lived event tuples and
+        # freelisted packets — all acyclic, reclaimed by refcounting the
+        # moment they are dropped — so generation-0 passes triggered by
+        # that churn only scan for cycles that never exist.  Cyclic
+        # garbage created by callbacks keeps accumulating until the
+        # collector resumes below, which bounds the drift to one run call.
+        gc_was_enabled = gc.isenabled()
+        if gc_was_enabled:
+            gc.disable()
         try:
-            while heap:
-                entry = heap[0]
-                time = entry[0]
-                if time > until_bound:
-                    break
-                pop(heap)
-                if cancelled and entry[1] in cancelled:
-                    cancelled.discard(entry[1])
-                    continue
-                self.now = time
-                if len(entry) == 3:
-                    entry[2]()
-                else:
-                    entry[2](entry[3])
-                executed += 1
-                if executed >= budget:
-                    break
+            if heap is not None:
+                pop = heappop
+                while heap:
+                    entry = heap[0]
+                    time = entry[0]
+                    if time > until_bound:
+                        break
+                    pop(heap)
+                    if cancelled and entry[1] in cancelled:
+                        cancelled.discard(entry[1])
+                        continue
+                    self.now = time
+                    if len(entry) == 3:
+                        entry[2]()
+                    else:
+                        entry[2](entry[3])
+                    executed += 1
+                    if executed >= budget:
+                        break
+            else:
+                executed = self._equeue.run_loop(
+                    self, until_bound, budget, cancelled
+                )
         finally:
             self._running = False
             self.events_executed += executed
+            lad = self._ladder
+            if lad is not None and lad._hwm > self.heap_hwm:
+                self.heap_hwm = lad._hwm
+            if gc_was_enabled:
+                gc.enable()
         if until is not None and self.now < until:
             nxt = self.peek_time()
             if nxt is None or nxt > until:
@@ -206,49 +425,88 @@ class Simulator:
         """
         heap = self._heap
         cancelled = self._cancelled
-        while heap:
-            entry = heapq.heappop(heap)
-            if cancelled and entry[1] in cancelled:
-                cancelled.discard(entry[1])
+        if heap is not None:
+            while heap:
+                entry = heappop(heap)
+                if cancelled and entry[1] in cancelled:
+                    cancelled.discard(entry[1])
+                    continue
+                self.now = entry[0]
+                if len(entry) == 3:
+                    entry[2]()
+                else:
+                    entry[2](entry[3])
+                self.events_executed += 1
+                return True
+            return False
+        eq_pop = self._equeue.pop
+        while True:
+            popped = eq_pop()
+            if popped is None:
+                return False
+            if cancelled and popped[1] in cancelled:
+                cancelled.discard(popped[1])
                 continue
-            self.now = entry[0]
-            if len(entry) == 3:
-                entry[2]()
+            self.now = popped[0]
+            if len(popped) == 3:
+                popped[2]()
             else:
-                entry[2](entry[3])
+                popped[2](popped[3])
             self.events_executed += 1
             return True
-        return False
 
     def peek_time(self) -> Optional[int]:
         """Timestamp of the next pending event, or ``None`` if idle.
 
-        Compacts cancelled entries off the heap top as a side effect (the
-        lazy-deletion mechanic); the answer is unaffected, and the heap
+        Compacts cancelled entries off the queue head as a side effect
+        (the lazy-deletion mechanic); the answer is unaffected, and the
         high-water mark can only have been set at push time, so profiling
         counters are not perturbed.
         """
         heap = self._heap
         cancelled = self._cancelled
-        while heap and cancelled and heap[0][1] in cancelled:
-            cancelled.discard(heap[0][1])
-            heapq.heappop(heap)
-        return heap[0][0] if heap else None
+        if heap is not None:
+            while heap and cancelled and heap[0][1] in cancelled:
+                cancelled.discard(heap[0][1])
+                heappop(heap)
+            return heap[0][0] if heap else None
+        eq = self._equeue
+        while True:
+            entry = eq.peek()
+            if entry is None:
+                return None
+            if cancelled and entry[1] in cancelled:
+                cancelled.discard(entry[1])
+                eq.pop()
+                continue
+            return entry[0]
+
+    # -- introspection --------------------------------------------------
+
+    @property
+    def equeue_name(self) -> str:
+        """The active event-queue backend's registry name."""
+        return self._equeue.name
+
+    def equeue_stats(self) -> Dict[str, int]:
+        """The backend's structure counters (see ``EventQueue.stats``)."""
+        return self._equeue.stats()
 
     @property
     def pending(self) -> int:
         """Number of live (non-cancelled) events still scheduled.
 
         Purely a read: unlike :meth:`peek_time`, this never compacts the
-        heap, so profiling or debugging reads cannot perturb engine state.
-        Cancelled events linger in the heap until popped (cancellation is
-        lazy) and are excluded from the count.  O(n) in heap size; for a
-        boolean check prefer :attr:`idle`.
+        queue, so profiling or debugging reads cannot perturb engine
+        state.  Lazily-cancelled events linger until popped and are
+        excluded from the count.  O(n) in queue size; for a boolean
+        check prefer :attr:`idle`.
         """
         cancelled = self._cancelled
+        eq = self._equeue
         if not cancelled:
-            return len(self._heap)
-        return sum(1 for entry in self._heap if entry[1] not in cancelled)
+            return len(eq)
+        return sum(1 for entry in eq if entry[1] not in cancelled)
 
     @property
     def idle(self) -> bool:

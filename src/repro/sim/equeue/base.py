@@ -1,0 +1,151 @@
+"""The event-queue backend interface.
+
+A backend is a priority queue over engine entries — the plain
+``(time_ns, seq, fn)`` / ``(time_ns, seq, fn, arg)`` tuples
+:class:`repro.sim.engine.Simulator` builds — that must hand them back in
+exact ``(time, seq)`` total order.  Because ``seq`` is unique, that order
+is a strict total order over entries, which is what makes every backend
+**bit-interchangeable**: the golden trace digests and FCT vectors in
+``tests/test_trace_determinism.py`` must come out byte-identical no
+matter which backend ran the simulation.
+
+Division of labour with the engine:
+
+* The engine owns *lazy cancellation*: :meth:`Simulator.cancel` offers
+  the entry to the backend first (:meth:`EventQueue.cancel`); a backend
+  that can remove it physically — the timer wheel — returns ``True``,
+  every other backend returns ``False`` and the engine records the
+  sequence number in the shared tombstone set that :meth:`run_loop`
+  consults when entries surface.
+* The backend owns the *storage layout* and may override
+  :meth:`run_loop` with an inlined dispatch loop — the generic one here
+  pays two Python calls per event (``peek`` + ``pop``), which the hot
+  backends avoid.
+
+``push`` returns the entry count *after* the push so the engine can
+maintain its high-water-mark profile counter without a second call.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Dict, Iterator, Optional, Set, Tuple
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
+    from repro.sim.engine import Simulator
+
+#: one scheduled event: ``(time_ns, seq, fn)`` or ``(time_ns, seq, fn, arg)``
+Entry = Tuple[Any, ...]
+
+
+class EventQueue:
+    """Abstract event-queue backend: a ``(time, seq)``-ordered pool."""
+
+    #: registry key and the name recorded in profiles / bench JSON
+    name = "abstract"
+
+    #: True when :meth:`cancel` can physically remove entries — the
+    #: engine skips the (pointless) per-cancel backend call otherwise
+    physical_cancel = False
+
+    __slots__ = ()
+
+    def push(self, entry: Entry) -> int:
+        """Insert ``entry``; return the stored-entry count after insertion.
+
+        Entries arrive with ``entry[0] >= now`` (the engine validates) and
+        strictly increasing ``entry[1]``.  The count includes tombstoned
+        entries the backend has not physically dropped yet — it feeds the
+        ``heap_hwm`` profile counter, not correctness.
+        """
+        raise NotImplementedError
+
+    def pop(self) -> Optional[Entry]:
+        """Remove and return the least entry, or ``None`` when empty."""
+        raise NotImplementedError
+
+    def peek(self) -> Optional[Entry]:
+        """The least entry without removing it, or ``None`` when empty.
+
+        May reorganise internal storage (advance buckets, cascade wheels)
+        — observable state (the entry sequence) never changes.
+        """
+        raise NotImplementedError
+
+    def cancel(self, entry: Entry) -> bool:
+        """Try to remove ``entry`` physically; ``True`` when done.
+
+        Returning ``False`` (the default) makes the engine fall back to
+        lazy tombstoning via the shared cancelled set.  Implementations
+        must only return ``True`` when the entry can never surface again.
+        """
+        return False
+
+    def attach(self, cancelled: Set[int]) -> None:
+        """Share the engine's tombstone set (seqs of cancelled entries).
+
+        Backends that compact storage (the ladder's overflow purge) use
+        it to drop tombstones in bulk — and must ``discard`` every seq
+        they drop, mirroring what the run loop does on a lazy pop.
+        """
+
+    def __len__(self) -> int:
+        """Stored entries, tombstones included (mirrors ``push``'s count)."""
+        raise NotImplementedError
+
+    def __iter__(self) -> Iterator[Entry]:
+        """Iterate the stored entries in no particular order.
+
+        Only used by cold paths (``Simulator.pending``) — never by the
+        dispatch loop — so backends just chain their internal pools.
+        """
+        raise NotImplementedError
+
+    def stats(self) -> Dict[str, int]:
+        """Backend-specific structure counters (buckets, resizes, ...).
+
+        Recorded into :class:`repro.obs.profile.RunProfile` and bench
+        JSON so perf trajectories can attribute wins to the structure.
+        """
+        return {}
+
+    def run_loop(
+        self,
+        sim: "Simulator",
+        until_bound: int,
+        budget: int,
+        cancelled: Set[int],
+    ) -> int:
+        """Dispatch events in order until a stop condition; return count.
+
+        Stop conditions (checked in this order, matching the engine's
+        historical heap loop): queue empty, next entry later than
+        ``until_bound``, ``budget`` events executed.  ``sim.now`` is
+        advanced to each entry's time before its callback runs, and
+        callbacks are free to push/cancel re-entrantly.
+
+        This generic implementation costs two method calls per event;
+        hot backends override it with a loop over their own storage.
+        """
+        executed = 0
+        peek = self.peek
+        pop = self.pop
+        while True:
+            entry = peek()
+            if entry is None:
+                break
+            time = entry[0]
+            if time > until_bound:
+                break
+            pop()
+            if cancelled and entry[1] in cancelled:
+                cancelled.discard(entry[1])
+                continue
+            sim.now = time
+            if len(entry) == 3:
+                entry[2]()
+            else:
+                entry[2](entry[3])
+            executed += 1
+            if executed >= budget:
+                break
+        return executed

@@ -1,0 +1,94 @@
+"""The binary-heap backend: the engine's historical default, unchanged.
+
+A single :mod:`heapq` array of entry tuples.  Every sift comparison runs
+in C on ``(int, int)`` prefixes, which makes the heap very hard to beat
+at small event populations — it stays the default, and the engine keeps
+its dispatch loop inlined over :attr:`entries` (see
+``Simulator.run``) so choosing the default backend costs nothing over
+the pre-backend engine.
+
+The :meth:`run_loop` here is the same loop in backend form; it only runs
+when a ``HeapEventQueue`` is driven through the generic backend path
+(e.g. by the cross-backend equivalence tests).
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import TYPE_CHECKING, Dict, Iterator, List, Optional, Set
+
+from repro.sim.equeue.base import Entry, EventQueue
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.sim.engine import Simulator
+
+#: re-exported heap primitives — the engine's inlined default-backend
+#: fast path uses these without importing :mod:`heapq` itself (simlint
+#: SIM011 confines heapq imports to this package)
+heappush = heapq.heappush
+heappop = heapq.heappop
+
+
+class HeapEventQueue(EventQueue):
+    """Classic binary heap of entry tuples (the default backend)."""
+
+    name = "heap"
+
+    __slots__ = ("entries",)
+
+    def __init__(self) -> None:
+        #: the heap array — the engine's fast path reads this directly
+        self.entries: List[Entry] = []
+
+    def push(self, entry: Entry) -> int:
+        entries = self.entries
+        heapq.heappush(entries, entry)
+        return len(entries)
+
+    def pop(self) -> Optional[Entry]:
+        entries = self.entries
+        if not entries:
+            return None
+        return heapq.heappop(entries)
+
+    def peek(self) -> Optional[Entry]:
+        entries = self.entries
+        return entries[0] if entries else None
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def __iter__(self) -> Iterator[Entry]:
+        return iter(self.entries)
+
+    def stats(self) -> Dict[str, int]:
+        return {}
+
+    def run_loop(
+        self,
+        sim: "Simulator",
+        until_bound: int,
+        budget: int,
+        cancelled: Set[int],
+    ) -> int:
+        heap = self.entries
+        pop = heapq.heappop
+        executed = 0
+        while heap:
+            entry = heap[0]
+            time = entry[0]
+            if time > until_bound:
+                break
+            pop(heap)
+            if cancelled and entry[1] in cancelled:
+                cancelled.discard(entry[1])
+                continue
+            sim.now = time
+            if len(entry) == 3:
+                entry[2]()
+            else:
+                entry[2](entry[3])
+            executed += 1
+            if executed >= budget:
+                break
+        return executed

@@ -1,0 +1,439 @@
+"""Ladder/calendar queue backend: O(1)-amortized push, run-sorted pops.
+
+The structure is the classic three-tier ladder tuned for CPython:
+
+* **bottom** — the active sorted run: the contents of the bucket the
+  clock is currently draining, in ``(time, seq)`` order, consumed by an
+  index cursor (no ``pop(0)`` shifting).  Events scheduled *into* the
+  active bucket (a ``schedule(0, ...)`` chain, sub-bucket link hops) are
+  bisect-inserted past the cursor, which preserves the exact total order
+  the golden digests pin.
+* **ring** — ``nbuckets`` unsorted append-only lists covering the next
+  ``nbuckets × 2^shift`` nanoseconds.  A push inside that horizon is one
+  shift, one mask, one ``list.append``.  A refill sorts one bucket with
+  C timsort — cheap because resizing keeps buckets short.
+* **far** — a binary heap holding everything beyond the horizon (RTO
+  and pacing timers, mostly).  Pushes land near the heap's bottom (they
+  are far-future by definition), so they sift almost never; entries
+  migrate into the ring in bulk when the window advances past them.
+
+**Lazy resizing**: every ``_RESIZE_CHECK_EVENTS`` consumed events the
+queue compares the observed run length (events drained per refill,
+due-now bisect inserts included) against a hysteresis band and rebuilds
+with a narrower/wider bucket width (powers of two only, so the hot path
+stays shift+mask).  The decision is driven purely by simulated-event
+statistics, never the wall clock, so runs stay bit-reproducible.
+
+**Tombstones**: cancellation stays lazy (the engine's cancelled set);
+the only twist is the far heap, which would otherwise accumulate every
+cancelled long-deadline timer for the whole run.  When the far heap
+doubles past a floor, tombstones are purged in bulk against the shared
+cancelled set (discarding their seqs exactly as a lazy pop would).
+"""
+
+from __future__ import annotations
+
+import heapq
+from bisect import insort
+from typing import TYPE_CHECKING, Dict, Iterator, List, Optional, Set
+
+from repro.sim.equeue.base import Entry, EventQueue
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.sim.engine import Simulator
+
+#: reconsider the bucket width after this many consumed events
+_RESIZE_CHECK_EVENTS = 4096
+#: narrow the buckets when the average consumed run exceeds this — long
+#: runs make the bisect-insert of a due-now push shift a long tail
+_TARGET_RUN_HIGH = 128.0
+#: widen when the average consumed run falls below this — short runs
+#: mean the per-refill overhead (scan, sort call, bookkeeping) is
+#: amortized over too few events
+_TARGET_RUN_LOW = 24.0
+#: resize steps aim the run length at the middle of the band
+_TARGET_RUN_MID = 64.0
+#: bucket width bounds: 4 ns .. ~1.07 s
+_MIN_SHIFT = 2
+_MAX_SHIFT = 30
+#: never purge the far heap below this size
+_PURGE_MIN = 4096
+
+
+class LadderEventQueue(EventQueue):
+    """Calendar queue with an adaptive bucket width and far-heap overflow."""
+
+    name = "ladder"
+
+    __slots__ = (
+        "_shift",
+        "_nbuckets",
+        "_mask",
+        "_ring",
+        "_bottom",
+        "_bi",
+        "_cur",
+        "_limit",
+        "_far",
+        "_count",
+        "_hwm",
+        "_cancelled",
+        "_purge_at",
+        # structure statistics (stats())
+        "_refills",
+        "_sorted_events",
+        "_run_events",
+        "_empty_scans",
+        "_resizes",
+        "_far_pushes",
+        "_migrated",
+        "_purges",
+        "_purged",
+        # resize-window snapshots
+        "_ck_run",
+        "_ck_refills",
+    )
+
+    def __init__(self, shift: int = 10, nbuckets: int = 256) -> None:
+        if nbuckets & (nbuckets - 1):
+            raise ValueError(f"nbuckets must be a power of two, got {nbuckets}")
+        if not _MIN_SHIFT <= shift <= _MAX_SHIFT:
+            raise ValueError(f"shift out of range: {shift}")
+        self._shift = shift
+        self._nbuckets = nbuckets
+        self._mask = nbuckets - 1
+        self._ring: List[List[Entry]] = [[] for _ in range(nbuckets)]
+        self._bottom: List[Entry] = []
+        self._bi = 0
+        # absolute bucket numbers: the active bucket and the (exclusive)
+        # end of the ring window.  Ring holds buckets in (cur, limit);
+        # far holds [limit, inf).  limit - cur <= nbuckets always.
+        self._cur = -1
+        self._limit = nbuckets - 1
+        self._far: List[Entry] = []
+        # entries stored in the ring and far heap ONLY — the bottom run
+        # is counted separately via ``len(_bottom) - _bi`` (see __len__),
+        # which keeps the hottest push path (a due-now bisect insert)
+        # free of any counter maintenance
+        self._count = 0
+        # pool high-water mark, sampled at refill time; the engine folds
+        # it into ``Simulator.heap_hwm`` after each run
+        self._hwm = 0
+        self._cancelled: Optional[Set[int]] = None
+        self._purge_at = _PURGE_MIN
+        self._refills = 0
+        self._sorted_events = 0
+        self._run_events = 0
+        self._empty_scans = 0
+        self._resizes = 0
+        self._far_pushes = 0
+        self._migrated = 0
+        self._purges = 0
+        self._purged = 0
+        self._ck_run = 0
+        self._ck_refills = 0
+
+    # -- interface --------------------------------------------------------
+
+    def attach(self, cancelled: Set[int]) -> None:
+        self._cancelled = cancelled
+
+    def push(self, entry: Entry) -> int:
+        b = entry[0] >> self._shift
+        if b > self._cur:
+            if b < self._limit:
+                self._ring[b & self._mask].append(entry)
+            else:
+                far = self._far
+                heapq.heappush(far, entry)
+                self._far_pushes += 1
+                if len(far) >= self._purge_at:
+                    self._purge()
+            self._count += 1
+        else:
+            # lands in the bucket being drained: keep the active run sorted
+            insort(self._bottom, entry, self._bi)
+        return self._count + len(self._bottom) - self._bi
+
+    def pop(self) -> Optional[Entry]:
+        bi = self._bi
+        bottom = self._bottom
+        if bi == len(bottom):
+            if not self._advance():
+                return None
+            bi = self._bi
+        entry = bottom[bi]
+        self._bi = bi + 1
+        return entry
+
+    def peek(self) -> Optional[Entry]:
+        if self._bi == len(self._bottom):
+            if not self._advance():
+                return None
+        return self._bottom[self._bi]
+
+    def __len__(self) -> int:
+        return self._count + len(self._bottom) - self._bi
+
+    def __iter__(self) -> Iterator[Entry]:
+        yield from self._bottom[self._bi :]
+        for slot in self._ring:
+            yield from slot
+        yield from self._far
+
+    def stats(self) -> Dict[str, int]:
+        return {
+            "width_ns": 1 << self._shift,
+            "nbuckets": self._nbuckets,
+            "refills": self._refills,
+            "sorted_events": self._sorted_events,
+            "run_events": self._run_events,
+            "empty_scans": self._empty_scans,
+            "resizes": self._resizes,
+            "far_pushes": self._far_pushes,
+            "migrated": self._migrated,
+            "purges": self._purges,
+            "purged_tombstones": self._purged,
+            "far_size": len(self._far),
+        }
+
+    # -- the hot dispatch loop -------------------------------------------
+
+    def run_loop(
+        self,
+        sim: "Simulator",
+        until_bound: int,
+        budget: int,
+        cancelled: Set[int],
+    ) -> int:
+        executed = 0
+        bottom = self._bottom
+        bi = self._bi
+        blen = len(bottom)
+        advance = self._advance
+        while True:
+            if bi == blen:
+                # the cached length can only be stale-low: re-entrant
+                # pushes bisect in at or after the cursor, never before
+                blen = len(bottom)
+                if bi == blen:
+                    self._bi = bi
+                    if not advance():
+                        bi = self._bi  # advance reset the consumed run
+                        break
+                    bi = 0
+                    blen = len(bottom)
+            entry = bottom[bi]
+            time = entry[0]
+            if time > until_bound:
+                break
+            bi += 1
+            # keep the insort anchor current: the callback may schedule
+            # into the active run
+            self._bi = bi
+            if cancelled and entry[1] in cancelled:
+                cancelled.discard(entry[1])
+                continue
+            sim.now = time
+            if len(entry) == 3:
+                entry[2]()
+            else:
+                entry[2](entry[3])
+            executed += 1
+            if executed >= budget:
+                break
+        self._bi = bi
+        return executed
+
+    # -- internals --------------------------------------------------------
+
+    def _advance(self) -> bool:
+        """Refill the active run from the next non-empty bucket.
+
+        Precondition: the active run is fully consumed (``_bi`` at end).
+        Returns ``False`` when no entry remains anywhere.
+        """
+        bottom = self._bottom
+        consumed = len(bottom)
+        if consumed:
+            # run length *including* events bisect-inserted while it was
+            # live — the signal the width adaptation steers on
+            self._run_events += consumed
+            del bottom[:]
+        self._bi = 0
+        ring = self._ring
+        mask = self._mask
+        cur = self._cur
+        limit = self._limit
+        far = self._far
+        # the bottom run is empty here, so the ring population is just
+        # the stored count minus whatever sits in the far heap — no
+        # per-push counter needed
+        near = self._count - len(far)
+        nbuckets = self._nbuckets
+        half = nbuckets >> 1
+        while True:
+            if near:
+                cur += 1
+                # keep at least half the ring ahead of the clock, so
+                # near-horizon pushes land in buckets instead of paying
+                # two heap operations through the far overflow
+                if limit - cur <= half:
+                    limit = cur + nbuckets
+                    near += self._migrate(limit)
+                    far = self._far  # _migrate may purge (rebuild) it
+                slot = ring[cur & mask]
+                if slot:
+                    n = len(slot)
+                    self._cur = cur
+                    self._limit = limit
+                    live = self._count
+                    self._count = live - n
+                    if live > self._hwm:
+                        self._hwm = live
+                    if n == 1:
+                        bottom.append(slot[0])
+                    else:
+                        bottom.extend(slot)
+                        bottom.sort()
+                    del slot[:]
+                    self._refills += 1
+                    self._sorted_events += n
+                    if self._run_events - self._ck_run >= _RESIZE_CHECK_EVENTS:
+                        self._maybe_resize()
+                    return True
+                self._empty_scans += 1
+            elif far:
+                # ring empty: jump the window to the far heap's head
+                head_bucket = far[0][0] >> self._shift
+                cur = head_bucket - 1
+                limit = cur + nbuckets
+                near = self._migrate(limit)
+                far = self._far
+            else:
+                self._cur = cur
+                self._limit = limit
+                return False
+
+    def _migrate(self, limit: int) -> int:
+        """Pull far-heap entries with bucket < ``limit`` into the ring.
+
+        Returns the number of entries moved; the caller (``_advance``,
+        which tracks the near count in a local) adds it to ``near``.
+        """
+        far = self._far
+        if len(far) >= self._purge_at:
+            self._purge()
+            far = self._far
+        if not far:
+            return 0
+        ring = self._ring
+        mask = self._mask
+        shift = self._shift
+        pop = heapq.heappop
+        moved = 0
+        while far and (far[0][0] >> shift) < limit:
+            e = pop(far)
+            ring[(e[0] >> shift) & mask].append(e)
+            moved += 1
+        self._migrated += moved
+        return moved
+
+    def _purge(self) -> None:
+        """Drop cancelled entries from the far heap in bulk.
+
+        Mirrors a lazy pop for each dropped entry: the seq is discarded
+        from the shared cancelled set, so engine semantics are unchanged.
+        """
+        cancelled = self._cancelled
+        far = self._far
+        if cancelled:
+            keep: List[Entry] = []
+            append = keep.append
+            discard = cancelled.discard
+            for e in far:
+                if e[1] in cancelled:
+                    discard(e[1])
+                else:
+                    append(e)
+            dropped = len(far) - len(keep)
+            if dropped:
+                heapq.heapify(keep)
+                self._far = far = keep
+                self._count -= dropped
+                self._purged += dropped
+                self._purges += 1
+        self._purge_at = max(_PURGE_MIN, 2 * len(far))
+
+    def _maybe_resize(self) -> None:
+        """Lazy width adaptation from observed event-horizon statistics.
+
+        The signal is the average *consumed-run* length over the last
+        window: the number of events that flowed through the bottom run
+        per refill, counting both the sorted bucket contents and due-now
+        pushes bisected in while the run was live.  Doubling the width
+        roughly doubles the run length (for a stationary event horizon),
+        so each step aims ``log2(target / observed)`` at the middle of
+        the (low, high) hysteresis band.
+        """
+        consumed = self._run_events - self._ck_run
+        refills = self._refills - self._ck_refills
+        self._ck_run = self._run_events
+        self._ck_refills = self._refills
+        if not refills:
+            return
+        avg_run = consumed / refills
+        shift = self._shift
+        if avg_run > _TARGET_RUN_HIGH and shift > _MIN_SHIFT:
+            step = max(1, int(avg_run / _TARGET_RUN_MID).bit_length() - 1)
+            self._resize(shift - step)
+        elif avg_run < _TARGET_RUN_LOW and shift < _MAX_SHIFT:
+            step = max(1, int(_TARGET_RUN_MID / avg_run).bit_length() - 1)
+            self._resize(shift + step)
+
+    def _resize(self, new_shift: int) -> None:
+        """Rebuild ring + far with a new bucket width (tombstones purged)."""
+        new_shift = max(_MIN_SHIFT, min(_MAX_SHIFT, new_shift))
+        if new_shift == self._shift:
+            return
+        # every stored (non-bottom) entry has time >= boundary
+        boundary = (self._cur + 1) << self._shift
+        width = 1 << new_shift
+        cur = ((boundary + width - 1) >> new_shift) - 1
+        limit = cur + self._nbuckets
+        entries: List[Entry] = []
+        for slot in self._ring:
+            if slot:
+                entries.extend(slot)
+                del slot[:]
+        entries.extend(self._far)
+        del self._far[:]
+        self._shift = new_shift
+        self._cur = cur
+        self._limit = limit
+        cancelled = self._cancelled
+        ring = self._ring
+        mask = self._mask
+        bottom = self._bottom
+        bi = self._bi
+        far = self._far
+        for e in entries:
+            if cancelled and e[1] in cancelled:
+                cancelled.discard(e[1])
+                self._count -= 1
+                self._purged += 1
+                continue
+            b = e[0] >> new_shift
+            if b > cur:
+                if b < limit:
+                    ring[b & mask].append(e)
+                else:
+                    far.append(e)
+            else:
+                # the new (wider) active bucket swallowed it: it moves
+                # from counted ring/far storage into the bottom run
+                insort(bottom, e, bi)
+                self._count -= 1
+        heapq.heapify(far)
+        self._purge_at = max(_PURGE_MIN, 2 * len(far))
+        self._resizes += 1

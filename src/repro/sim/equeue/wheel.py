@@ -1,0 +1,325 @@
+"""Hierarchical timer wheel backend: O(1) push *and* O(1) cancel.
+
+Kernel-style hashed wheel with 64 slots per level.  Level ``l`` has a
+granularity of ``2^(g0_shift + 6*l)`` nanoseconds, so with the defaults
+(128 ns base, 8 levels) the wheel spans ~10 hours before the top level
+starts clamping (clamped entries simply re-cascade until they fit — a
+correct, rarely-taken slow path).
+
+The wheel exists for the RTO/pacing timer population: long deadlines,
+almost always cancelled before they fire.  Two properties target that
+profile:
+
+* Slots are ``{seq: entry}`` dicts and a ``_where`` side map records
+  each entry's slot, so :meth:`cancel` removes the entry *physically* in
+  O(1) — no tombstone ever reaches the engine's cancelled set, and a
+  cancelled 200 ms RTO costs nothing at expiry time.
+* Entries sort only when (if!) their slot is reached: a slot is drained
+  with one C ``sorted`` call, and higher-level slots cascade top-down at
+  ``64^l``-aligned boundaries into finer levels.  Per-level entry counts
+  let the clock hop straight over empty revolutions instead of scanning
+  64 slots at a time.
+
+Same active-run discipline as the ladder: the drained slot becomes a
+sorted bottom run consumed by index, and same-bucket re-entrant pushes
+bisect in past the cursor.
+"""
+
+from __future__ import annotations
+
+from bisect import insort
+from typing import TYPE_CHECKING, Dict, Iterator, List, Optional, Set, Tuple
+
+from repro.sim.equeue.base import Entry, EventQueue
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.sim.engine import Simulator
+
+_SLOT_BITS = 6
+_SLOTS = 64
+_SLOT_MASK = _SLOTS - 1
+
+
+class TimerWheelEventQueue(EventQueue):
+    """Hierarchical 64-ary timer wheel with physical O(1) cancellation."""
+
+    name = "wheel"
+
+    physical_cancel = True
+
+    __slots__ = (
+        "_s0",
+        "_nlevels",
+        "_levels",
+        "_counts",
+        "_where",
+        "_bottom",
+        "_bi",
+        "_cur",
+        "_count",
+        # statistics
+        "_cascades",
+        "_cascaded",
+        "_cancels",
+        "_empty_scans",
+    )
+
+    def __init__(self, g0_shift: int = 7, levels: int = 8) -> None:
+        if not 0 <= g0_shift <= 20:
+            raise ValueError(f"g0_shift out of range: {g0_shift}")
+        if not 2 <= levels <= 10:
+            raise ValueError(f"levels out of range: {levels}")
+        self._s0 = g0_shift
+        self._nlevels = levels
+        self._levels: List[List[Dict[int, Entry]]] = [
+            [{} for _ in range(_SLOTS)] for _ in range(levels)
+        ]
+        self._counts = [0] * levels
+        self._where: Dict[int, Tuple[int, Dict[int, Entry]]] = {}
+        self._bottom: List[Entry] = []
+        self._bi = 0
+        #: absolute level-0 bucket currently being drained
+        self._cur = 0
+        # see LadderEventQueue._count: includes the consumed run prefix,
+        # reconciled at each _advance; exact count is _count - _bi
+        self._count = 0
+        self._cascades = 0
+        self._cascaded = 0
+        self._cancels = 0
+        self._empty_scans = 0
+
+    # -- interface --------------------------------------------------------
+
+    def push(self, entry: Entry) -> int:
+        if (entry[0] >> self._s0) <= self._cur:
+            insort(self._bottom, entry, self._bi)
+        else:
+            self._place(entry)
+        self._count = n = self._count + 1
+        return n
+
+    def cancel(self, entry: Entry) -> bool:
+        rec = self._where.pop(entry[1], None)
+        if rec is None:
+            # already in the bottom run (or already fired): let the
+            # engine tombstone it lazily
+            return False
+        lvl, slot = rec
+        del slot[entry[1]]
+        self._counts[lvl] -= 1
+        self._count -= 1
+        self._cancels += 1
+        return True
+
+    def pop(self) -> Optional[Entry]:
+        bi = self._bi
+        bottom = self._bottom
+        if bi == len(bottom):
+            if not self._advance():
+                return None
+            bi = self._bi
+        entry = bottom[bi]
+        self._bi = bi + 1
+        return entry
+
+    def peek(self) -> Optional[Entry]:
+        if self._bi == len(self._bottom):
+            if not self._advance():
+                return None
+        return self._bottom[self._bi]
+
+    def __len__(self) -> int:
+        return self._count - self._bi
+
+    def __iter__(self) -> Iterator[Entry]:
+        yield from self._bottom[self._bi :]
+        for level in self._levels:
+            for slot in level:
+                yield from slot.values()
+
+    def stats(self) -> Dict[str, int]:
+        return {
+            "g0_width_ns": 1 << self._s0,
+            "levels": self._nlevels,
+            "cascades": self._cascades,
+            "cascaded_entries": self._cascaded,
+            "physical_cancels": self._cancels,
+            "empty_scans": self._empty_scans,
+            "in_wheel": sum(self._counts),
+        }
+
+    # -- the hot dispatch loop -------------------------------------------
+
+    def run_loop(
+        self,
+        sim: "Simulator",
+        until_bound: int,
+        budget: int,
+        cancelled: Set[int],
+    ) -> int:
+        executed = 0
+        bottom = self._bottom
+        bi = self._bi
+        blen = len(bottom)
+        advance = self._advance
+        while True:
+            if bi == blen:
+                # the cached length can only be stale-low: re-entrant
+                # pushes bisect in at or after the cursor, never before
+                blen = len(bottom)
+                if bi == blen:
+                    self._bi = bi
+                    if not advance():
+                        bi = self._bi  # advance reset the consumed run
+                        break
+                    bi = 0
+                    blen = len(bottom)
+            entry = bottom[bi]
+            time = entry[0]
+            if time > until_bound:
+                break
+            bi += 1
+            self._bi = bi  # callbacks may insort into the active run
+            if cancelled and entry[1] in cancelled:
+                cancelled.discard(entry[1])
+                continue
+            sim.now = time
+            if len(entry) == 3:
+                entry[2]()
+            else:
+                entry[2](entry[3])
+            executed += 1
+            if executed >= budget:
+                break
+        self._bi = bi
+        return executed
+
+    # -- internals --------------------------------------------------------
+
+    def _place(self, entry: Entry) -> None:
+        """File ``entry`` at the coarsest-needed / finest-fitting level.
+
+        The smallest level where the slot delta fits under 64 can never
+        collide with the in-progress slot (the delta would have fit one
+        level down), so a placed entry always expires in the future.  At
+        the clamped top level an alias is possible; cascading re-places
+        those until they fit.
+        """
+        i = entry[0] >> self._s0
+        c = self._cur
+        lvl = 0
+        last = self._nlevels - 1
+        while lvl < last and i - c >= _SLOTS:
+            i >>= _SLOT_BITS
+            c >>= _SLOT_BITS
+            lvl += 1
+        slot = self._levels[lvl][i & _SLOT_MASK]
+        slot[entry[1]] = entry
+        self._where[entry[1]] = (lvl, slot)
+        self._counts[lvl] += 1
+
+    def _advance(self) -> bool:
+        """Advance the clock to the next populated level-0 bucket."""
+        bottom = self._bottom
+        self._count -= len(bottom)  # reconcile the consumed run in bulk
+        del bottom[:]
+        self._bi = 0
+        counts = self._counts
+        level0 = self._levels[0]
+        nlevels = self._nlevels
+        cur = self._cur
+        while True:
+            lvl = 0
+            while lvl < nlevels and not counts[lvl]:
+                lvl += 1
+            if lvl == nlevels:
+                self._cur = cur
+                return False
+            if lvl == 0:
+                # scan the rest of the current level-0 revolution
+                end = cur | _SLOT_MASK
+                while cur < end:
+                    cur += 1
+                    slot = level0[cur & _SLOT_MASK]
+                    if slot:
+                        self._cur = cur
+                        self._drain_slot(slot)
+                        return True
+                    self._empty_scans += 1
+                boundary = end + 1
+            else:
+                # nothing below level `lvl`: hop straight to the next
+                # boundary aligned to that level's granularity
+                span = _SLOT_BITS * lvl
+                boundary = ((cur >> span) + 1) << span
+            cur = boundary
+            self._cur = cur
+            self._cascade_chain(boundary)
+            # entries due exactly at the boundary: pre-existing ones sit
+            # in the level-0 slot; just-cascaded ones landed in `bottom`
+            slot = level0[cur & _SLOT_MASK]
+            if slot:
+                self._drain_slot(slot)
+            if bottom:
+                return True
+
+    def _drain_slot(self, slot: Dict[int, Entry]) -> None:
+        """Move a due level-0 slot into the bottom run, sorted."""
+        entries = sorted(slot.values()) if len(slot) > 1 else list(slot.values())
+        slot.clear()
+        where = self._where
+        for e in entries:
+            del where[e[1]]
+        self._counts[0] -= len(entries)
+        bottom = self._bottom
+        if bottom:
+            # merging with boundary-cascaded entries from the same bucket
+            bottom.extend(entries)
+            bottom.sort()
+        else:
+            bottom.extend(entries)
+
+    def _cascade_chain(self, boundary: int) -> None:
+        """Cascade every level whose slot starts at ``boundary``, top-down.
+
+        Top-down so an entry settles in one pass: a level-3 entry
+        cascading into a level-2 slot that also starts at ``boundary``
+        is picked up by the level-2 cascade in the same chain.
+        """
+        nlevels = self._nlevels
+        aligned = []
+        lvl = 1
+        while (
+            lvl < nlevels
+            and boundary & ((1 << (_SLOT_BITS * lvl)) - 1) == 0
+        ):
+            aligned.append(lvl)
+            lvl += 1
+        for lvl in reversed(aligned):
+            slot = self._levels[lvl][
+                (boundary >> (_SLOT_BITS * lvl)) & _SLOT_MASK
+            ]
+            if slot:
+                self._cascade(lvl, slot)
+
+    def _cascade(self, lvl: int, slot: Dict[int, Entry]) -> None:
+        """Re-place a higher-level slot's entries into finer storage."""
+        entries = list(slot.values())
+        slot.clear()
+        self._counts[lvl] -= len(entries)
+        where = self._where
+        cur = self._cur
+        s0 = self._s0
+        bottom = self._bottom
+        bi = self._bi
+        for e in entries:
+            if (e[0] >> s0) <= cur:
+                # due in the bucket being entered: goes straight to the
+                # bottom run (and out of `_where` — cancellation falls
+                # back to the engine's lazy path from here)
+                del where[e[1]]
+                insort(bottom, e, bi)
+            else:
+                self._place(e)  # overwrites the _where record
+        self._cascades += 1
+        self._cascaded += len(entries)

@@ -49,11 +49,13 @@ class Receiver:
         host.register_receiver(flow.id, self)
 
     def on_data(self, pkt: Packet) -> None:
-        if pkt.seq >= self.flow.npkts:
-            return  # malformed/out-of-range segment: never acknowledge
-        if self.on_bytes is not None:
-            self.on_bytes(self.flow, pkt.payload, self.sim.now)
         seq = pkt.seq
+        flow = self.flow
+        if seq >= flow.npkts:
+            return  # malformed/out-of-range segment: never acknowledge
+        now = self.sim.now
+        if self.on_bytes is not None:
+            self.on_bytes(flow, pkt.payload, now)
         if seq == self.rcv_nxt:
             self.rcv_nxt += 1
             ooo = self._ooo
@@ -63,13 +65,13 @@ class Receiver:
         elif seq > self.rcv_nxt:
             self._ooo.add(seq)
         # (seq < rcv_nxt: spurious retransmission; still ACK it)
-        ack = make_ack(pkt, self.rcv_nxt, ece=pkt.ce, now=self.sim.now)
+        ack = make_ack(pkt, self.rcv_nxt, ece=pkt.ce, now=now)
         self.host.send(ack)
-        if self.rcv_nxt >= self.flow.npkts and not self.flow.completed:
-            self.flow.completed = True
-            self.flow.fct_ns = self.sim.now - self.flow.start_ns
+        if self.rcv_nxt >= flow.npkts and not flow.completed:
+            flow.completed = True
+            flow.fct_ns = now - flow.start_ns
             if self.on_complete is not None:
-                self.on_complete(self.flow)
+                self.on_complete(flow)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"<Receiver flow={self.flow.id} rcv_nxt={self.rcv_nxt}>"

@@ -1,0 +1,8 @@
+"""SIM011 fixture: heapq smuggled into scheduler code."""
+import heapq  # expect: SIM011
+from heapq import heappush  # expect: SIM011
+
+
+def stash(pending, entry):
+    heappush(pending, entry)
+    return heapq.heappop(pending)

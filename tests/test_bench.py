@@ -176,3 +176,74 @@ class TestCli:
             ]
         )
         assert code == 2
+
+    def test_compare_unparseable_baseline_errors(self, tmp_path, capsys):
+        bad = tmp_path / "BENCH_port_saturation.json"
+        bad.write_text("{not json")
+        code = bench_main(
+            [
+                "-s",
+                "port_saturation",
+                "--out",
+                str(tmp_path / "out"),
+                "--compare",
+                str(bad),
+            ]
+        )
+        assert code == 2
+        err = capsys.readouterr().err
+        assert err.count("\n") == 1  # exactly one diagnostic line
+        assert "BENCH_port_saturation.json" in err
+
+    def test_equeue_flag_is_recorded_in_the_result_json(self, tmp_path):
+        out_dir = tmp_path / "out"
+        assert (
+            bench_main(
+                [
+                    "-s",
+                    "port_saturation",
+                    "--out",
+                    str(out_dir),
+                    "--equeue",
+                    "ladder",
+                ]
+            )
+            == 0
+        )
+        payload = json.loads(
+            (out_dir / "BENCH_port_saturation.json").read_text()
+        )
+        assert payload["equeue"] == "ladder"
+        assert isinstance(payload["equeue_stats"], dict)
+
+    def test_compare_json_artifact_is_written(self, tmp_path):
+        base_dir = str(tmp_path / "base")
+        assert bench_main(["-s", "port_saturation", "--out", base_dir]) == 0
+        artifact = tmp_path / "compare.json"
+        assert (
+            bench_main(
+                [
+                    "-s",
+                    "port_saturation",
+                    "--out",
+                    str(tmp_path / "out"),
+                    "--compare",
+                    base_dir,
+                    # the test pins the artifact shape, not machine speed:
+                    # a huge threshold keeps back-to-back noise from failing
+                    "--threshold",
+                    "0.99",
+                    "--compare-json",
+                    str(artifact),
+                ]
+            )
+            == 0
+        )
+        payload = json.loads(artifact.read_text())
+        assert payload["equeue"] == "heap"
+        assert not payload["regressed"]
+        assert payload["missing_baselines"] == []
+        (row,) = payload["comparisons"]
+        assert row["scenario"] == "port_saturation"
+        assert {"baseline_eps", "new_eps", "ratio"} <= set(row)
+        assert not row["fingerprint_changed"]
