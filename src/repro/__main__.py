@@ -91,6 +91,14 @@ def build_parser() -> argparse.ArgumentParser:
             "'auto' picks by workload shape)"
         ),
     )
+    parser.add_argument(
+        "--workers", type=int, default=0,
+        help=(
+            "partition the fabric across N worker processes (leafspine "
+            "only; 0 = the serial engine; results are identical — see "
+            "docs/PARALLEL.md)"
+        ),
+    )
     return parser
 
 
@@ -253,6 +261,11 @@ def sweep_main(argv=None) -> int:
         f"{stats.cache_hits} cache hits, {stats.cache_misses} misses, "
         f"{stats.errors} errors{rate}"
     )
+    if stats.serial_fallback:
+        print(
+            "note: no usable multiprocessing start method on this "
+            "platform; the sweep ran serially"
+        )
     return 0 if outcome.ok else 1
 
 
@@ -300,6 +313,7 @@ def main(argv=None) -> int:
         seed=args.seed,
         buffer_bytes=args.buffer_kb * KB,
         equeue=args.equeue,
+        workers=args.workers,
     )
     tracer = Tracer(capacity=args.trace_limit) if args.trace else None
     result = run_experiment(cfg, tracer=tracer)
@@ -311,7 +325,16 @@ def main(argv=None) -> int:
         f"{result.timeouts} timeouts, {result.drops} drops, "
         f"{result.marks} ECN marks"
     )
-    print("profile: " + RunProfile(**result.profile).describe())
+    # from_dict tolerates the partitioned runner's extra profile keys
+    profile_line = RunProfile.from_dict(result.profile).describe()
+    if "workers" in result.profile:
+        profile_line += (
+            f", {result.profile['workers']} workers "
+            f"({result.profile['start_method']}, "
+            f"{result.profile['rounds']} sync rounds, "
+            f"{result.profile['sync_stall_s']:.1f}s stalled)"
+        )
+    print("profile: " + profile_line)
     if args.ports:
         print()
         print(format_port_breakdown(result.metrics))

@@ -1,4 +1,4 @@
-"""The built-in simlint rules, SIM001..SIM011.
+"""The built-in simlint rules, SIM001..SIM012.
 
 Each rule encodes one project-specific invariant that a generic linter
 cannot express — they are all, one way or another, about keeping the
@@ -817,4 +817,59 @@ def check_heapq_confined(mod: ModuleInfo) -> Iterator[Finding]:
                 node,
                 "heapq imported outside repro.sim.equeue — event "
                 "ordering belongs to the pluggable queue backends",
+            )
+
+
+# -- SIM012: multiprocessing confinement ------------------------------------
+
+_MP_PKGS = (
+    ("repro", "harness", "sweep"),
+    ("repro", "sim", "parallel"),
+)
+
+
+@rule(
+    "SIM012",
+    "multiprocessing-in-drivers-only",
+    rationale=(
+        "Process fan-out is the drivers' contract: the sweep runner and "
+        "the partitioned engine own the start-method fallbacks, "
+        "spawn-safe bootstrap and digest-checked determinism.  An ad-hoc "
+        "multiprocessing use elsewhere forks simulation state mid-run "
+        "and bypasses every one of those guarantees."
+    ),
+)
+def check_multiprocessing_confined(mod: ModuleInfo) -> Iterator[Finding]:
+    """``multiprocessing`` may be imported only by ``repro.harness.sweep``
+    and under ``repro.sim.parallel``: everywhere else, parallelism must go
+    through those drivers (``run_sweep`` / ``cfg.workers``), which are the
+    components tested for serial-equivalent results.  A genuinely new
+    driver belongs next to them, not behind a pragma."""
+    parts = mod.package_parts()
+    for allowed in _MP_PKGS:
+        if parts[: len(allowed)] == allowed:
+            return
+    for node in ast.walk(mod.tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.name == "multiprocessing" or alias.name.startswith(
+                    "multiprocessing."
+                ):
+                    yield mod.finding(
+                        "SIM012",
+                        node,
+                        "multiprocessing imported outside the sweep/"
+                        "parallel drivers — process fan-out belongs to "
+                        "repro.harness.sweep and repro.sim.parallel",
+                    )
+        elif isinstance(node, ast.ImportFrom) and (
+            node.module == "multiprocessing"
+            or (node.module or "").startswith("multiprocessing.")
+        ):
+            yield mod.finding(
+                "SIM012",
+                node,
+                "multiprocessing imported outside the sweep/parallel "
+                "drivers — process fan-out belongs to repro.harness.sweep "
+                "and repro.sim.parallel",
             )

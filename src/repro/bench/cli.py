@@ -66,6 +66,16 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     parser.add_argument(
+        "--workers",
+        type=int,
+        default=0,
+        help=(
+            "partitioned-engine worker count for leafspine scenarios "
+            "(default 0 = serial; fingerprints are worker-count "
+            "invariant, so --compare stays apples-to-apples)"
+        ),
+    )
+    parser.add_argument(
         "--out",
         default=".",
         metavar="DIR",
@@ -145,7 +155,9 @@ def main(argv=None) -> int:
     names = args.scenario or sorted(SCENARIOS)
     results = []
     for name in names:
-        result = run_scenario(name, repeat=args.repeat, equeue=args.equeue)
+        result = run_scenario(
+            name, repeat=args.repeat, equeue=args.equeue, workers=args.workers
+        )
         results.append(result)
         path = write_result(result, args.out)
         print(f"{result.describe()} -> {path}")

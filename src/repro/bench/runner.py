@@ -52,6 +52,10 @@ class BenchResult:
     equeue: str = "heap"
     #: the backend's structure counters from the kept repetition
     equeue_stats: Dict[str, int] = field(default_factory=dict)
+    #: partitioned-engine worker count the scenario ran with (0 = serial)
+    workers: int = 0
+    #: CPUs the host exposed — context for judging parallel numbers
+    cpu_count: int = 0
 
     def as_dict(self) -> Dict[str, object]:
         return {
@@ -69,6 +73,8 @@ class BenchResult:
             "machine": self.machine,
             "equeue": self.equeue,
             "equeue_stats": self.equeue_stats,
+            "workers": self.workers,
+            "cpu_count": self.cpu_count,
         }
 
     @classmethod
@@ -88,6 +94,8 @@ class BenchResult:
             machine=str(data.get("machine", "")),
             equeue=str(data.get("equeue", "heap")),
             equeue_stats=dict(data.get("equeue_stats", {})),  # type: ignore[arg-type]
+            workers=int(data.get("workers", 0)),  # type: ignore[arg-type]
+            cpu_count=int(data.get("cpu_count", 0)),  # type: ignore[arg-type]
         )
 
     def describe(self) -> str:
@@ -98,22 +106,29 @@ class BenchResult:
             pct = 100.0 * alloc["packets_reused"] / total if total else 0.0
             reuse = f", {pct:.0f}% pkt reuse"
         backend = f", equeue {self.equeue}" if self.equeue != "heap" else ""
+        par = (
+            f", {self.workers} workers on {self.cpu_count} cpus"
+            if self.workers
+            else ""
+        )
         return (
             f"{self.scenario}: {self.events_per_sec / 1e3:.0f}k ev/s "
             f"({self.events} events, {self.wall_s:.2f}s wall, "
-            f"heap hwm {self.heap_hwm}{reuse}{backend})"
+            f"heap hwm {self.heap_hwm}{reuse}{backend}{par})"
         )
 
 
 def run_scenario(
-    name: str, repeat: int = 1, equeue: str = "heap"
+    name: str, repeat: int = 1, equeue: str = "heap", workers: int = 0
 ) -> BenchResult:
     """Run one pinned scenario ``repeat`` times; keep the fastest.
 
-    ``equeue`` selects the event-queue backend; the scenario's
-    deterministic fingerprint must come out identical regardless, which
-    the cross-repetition assertion below extends to cross-backend
-    comparisons made by the CLI.
+    ``equeue`` selects the event-queue backend and ``workers`` the
+    partitioned-engine worker count (leafspine scenarios only; 0 runs
+    the serial engine); the scenario's deterministic fingerprint must
+    come out identical regardless, which the cross-repetition assertion
+    below extends to the cross-backend and serial-vs-partitioned
+    comparisons made by the CLI and CI.
     """
     scenario = SCENARIOS[name]
     best_profile: Optional[Dict[str, object]] = None
@@ -121,7 +136,7 @@ def run_scenario(
     allocations: Dict[str, int] = {}
     for _ in range(max(1, repeat)):
         reset_freelist()
-        profile, run_fingerprint = scenario.run(equeue=equeue)
+        profile, run_fingerprint = scenario.run(equeue=equeue, workers=workers)
         allocated, reused, _free = freelist_stats()
         if fingerprint is not None and dict(run_fingerprint) != dict(
             fingerprint
@@ -155,6 +170,8 @@ def run_scenario(
         machine=platform.machine(),
         equeue=str(best_profile.get("equeue", "heap")),
         equeue_stats=dict(best_profile.get("equeue_stats", {})),  # type: ignore[arg-type,call-overload]
+        workers=int(best_profile.get("workers", 0)),  # type: ignore[call-overload]
+        cpu_count=int(best_profile.get("cpu_count", os.cpu_count() or 1)),  # type: ignore[call-overload]
     )
 
 

@@ -36,7 +36,9 @@ class Scenario(NamedTuple):
     run: RunFn
 
 
-def _engine_churn(equeue: str = "heap") -> Tuple[Profile, Fingerprint]:
+def _engine_churn(
+    equeue: str = "heap", workers: int = 0
+) -> Tuple[Profile, Fingerprint]:
     """Pure engine stress: a rotating timer set under constant churn.
 
     Models the shape RTO timers impose on the heap: a driver event fires
@@ -47,6 +49,10 @@ def _engine_churn(equeue: str = "heap") -> Tuple[Profile, Fingerprint]:
     drains lazily — this exercises schedule, cancel, the tombstone
     drain, and tie-ordered dispatch, with zero network objects.
     """
+    if workers:
+        raise ValueError(
+            "engine_churn has no fabric to partition (workers must be 0)"
+        )
     steps = 200_000
     k_timers = 256
     timer_horizon_ns = 5_000
@@ -84,8 +90,12 @@ def _engine_churn(equeue: str = "heap") -> Tuple[Profile, Fingerprint]:
 
 
 def _experiment(**overrides) -> RunFn:
-    def run(equeue: str = "heap") -> Tuple[Profile, Fingerprint]:
-        result = run_experiment(ExperimentConfig(equeue=equeue, **overrides))
+    def run(
+        equeue: str = "heap", workers: int = 0
+    ) -> Tuple[Profile, Fingerprint]:
+        result = run_experiment(
+            ExperimentConfig(equeue=equeue, workers=workers, **overrides)
+        )
         fingerprint = {
             "completed": result.completed,
             "total": result.total,
@@ -130,6 +140,23 @@ SCENARIOS: Dict[str, Scenario] = {
                 load=0.95,
                 n_flows=300,
                 seed=13,
+            ),
+        ),
+        Scenario(
+            "leafspine_full",
+            "12x12 leaf-spine, 144 hosts, mixed workload (partitionable "
+            "with --workers; the fingerprint is worker-count invariant)",
+            _experiment(
+                scheme="tcn",
+                scheduler="sp_dwrr",
+                topology="leafspine",
+                n_leaf=12,
+                n_spine=12,
+                hosts_per_leaf=12,
+                workload="mixed",
+                load=0.6,
+                n_flows=400,
+                seed=7,
             ),
         ),
         Scenario(

@@ -88,6 +88,14 @@ class ExperimentConfig:
     # "auto" to let resolved_equeue pick from the workload shape.  Pure
     # performance knob — every backend yields bit-identical results.
     equeue: str = "heap"
+    # Parallel engine (repro.sim.parallel): 0 = the classic serial engine;
+    # >= 1 shards the leaf-spine fabric into one sub-simulator per leaf
+    # pod, spread over `workers` processes (1 = the same partitioned
+    # computation driven in-process — useful for debugging and as the
+    # scaling baseline).  Leafspine-only; equivalence with the serial
+    # engine is digest-checked by tests/test_parallel.py, which is why
+    # the sweep cache fingerprint excludes this knob.
+    workers: int = 0
 
     def validate(self) -> None:
         """Fail fast on inconsistent combinations."""
@@ -111,6 +119,13 @@ class ExperimentConfig:
             )
         if self.pias and not self.scheduler.startswith("sp"):
             raise ValueError("PIAS tagging needs a strict-priority high queue")
+        if self.workers < 0:
+            raise ValueError(f"workers must be >= 0, got {self.workers}")
+        if self.workers and self.topology != "leafspine":
+            raise ValueError(
+                "workers >= 1 (the partitioned engine) requires the "
+                f"leafspine topology, got {self.topology!r}"
+            )
 
     # -- derived constants -----------------------------------------------
 

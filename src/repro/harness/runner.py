@@ -82,6 +82,12 @@ def run_experiment(
     ``metrics`` — which ``tests/test_trace_determinism.py`` asserts.
     """
     cfg.validate()
+    if cfg.workers:
+        # Partitioned engine (leafspine only — validate() enforces).
+        # Imported lazily: cluster.py imports this module's builders back.
+        from repro.sim.parallel.cluster import run_parallel_experiment
+
+        return run_parallel_experiment(cfg, tracer)
     sim = Simulator(equeue=cfg.resolved_equeue)
     rng = RngFactory(cfg.seed)
     topo = _build_topology(sim, cfg)

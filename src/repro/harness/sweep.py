@@ -25,9 +25,15 @@ Design notes
   process with a result pipe; a worker that crashes (EOF on the pipe) or
   exceeds ``timeout_s`` (terminated) yields a structured
   :class:`SweepError` result while the rest of the sweep proceeds.
-* **Serial fallback.**  ``processes=0`` (or 1, or a platform without the
-  ``fork`` start method) runs in-process with identical semantics —
-  useful under debuggers and on exotic platforms.
+* **Spawn-safe workers, loud fallback.**  The worker bootstrap is
+  start-method agnostic: ``fork`` is preferred (cheapest), but platforms
+  offering only ``spawn``/``forkserver`` (e.g. Windows, macOS defaults)
+  parallelise too, because the child entry point is module-level and its
+  arguments pickle.  ``processes=0`` (or 1) still runs in-process with
+  identical semantics — useful under debuggers — and on the (rare)
+  platform with *no* usable start method the sweep falls back to serial
+  **loudly**: a stderr warning plus ``SweepStats.serial_fallback=True``,
+  never an invisible loss of parallelism.
 """
 
 from __future__ import annotations
@@ -37,6 +43,7 @@ import hashlib
 import json
 import multiprocessing
 import os
+import sys
 import time
 import traceback
 from dataclasses import dataclass, field
@@ -87,10 +94,14 @@ def config_fingerprint(cfg: ExperimentConfig) -> str:
     The event-queue backend is excluded on purpose: every backend
     produces bit-identical results (the golden-digest tests enforce it),
     so a sweep re-run with ``--equeue ladder`` still hits the cache
-    entries a heap run populated.
+    entries a heap run populated.  ``workers`` is excluded for the same
+    reason: the partitioned engine is digest-checked against the serial
+    one (``tests/test_parallel.py``), so serial and parallel runs of one
+    config share a cache entry.
     """
     fields = dataclasses.asdict(cfg)
     fields.pop("equeue", None)
+    fields.pop("workers", None)
     return json.dumps(
         fields, sort_keys=True, separators=(",", ":"), default=str,
     )
@@ -190,6 +201,10 @@ class SweepStats:
     #: summed per-run wall time of those runs (>= ``wall_s`` when the
     #: sweep is parallel)
     run_wall_s: float = 0.0
+    #: True when parallelism was requested but no usable multiprocessing
+    #: start method exists, so the sweep silently-no-more ran serially
+    #: (a loud warning is also printed to stderr when this trips)
+    serial_fallback: bool = False
 
     @property
     def hit_rate(self) -> float:
@@ -305,10 +320,25 @@ class ResultCache:
             "wall_s": wall_s,
             "payload": payload,
         }
+        # Atomic publish: serialize to a same-directory temp file, flush
+        # it to disk, then os.replace() into place.  A reader can only
+        # ever observe the old entry or the complete new one — a worker
+        # killed mid-write (e.g. by the sweep's timeout terminator) leaves
+        # at worst a stale *.tmp.<pid> file, never a truncated entry that
+        # would later deserialize as a cache hit.
         tmp = self.path_for(key) + f".tmp.{os.getpid()}"
-        with open(tmp, "w") as fh:
-            json.dump(entry, fh, sort_keys=True)
-        os.replace(tmp, self.path_for(key))
+        try:
+            with open(tmp, "w") as fh:
+                json.dump(entry, fh, sort_keys=True)
+                fh.flush()
+                os.fsync(fh.fileno())
+            os.replace(tmp, self.path_for(key))
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
 
 
 # -- execution -----------------------------------------------------------
@@ -358,16 +388,34 @@ def _child_main(conn, cfg_dict: dict) -> None:
         conn.close()
 
 
-def _resolve_processes(processes: Optional[int], n_configs: int) -> int:
-    """0 means serial; parallelism needs the fork start method."""
+#: start methods the worker bootstrap supports, in preference order.
+#: ``fork`` is cheapest; ``spawn``/``forkserver`` work because the worker
+#: entry point (`_child_main`) is module-level and its arguments (a pipe
+#: connection plus a plain config dict) pickle cleanly.
+_START_METHODS = ("fork", "forkserver", "spawn")
+
+
+def _resolve_processes(
+    processes: Optional[int], n_configs: int
+) -> Tuple[int, Optional[str]]:
+    """Pick (worker count, start method); ``(0, None)`` means serial.
+
+    ``0`` workers is only ever the *requested* serial mode (``processes``
+    in {0, 1} or a single config) — except on a platform with no usable
+    ``multiprocessing`` start method at all, where the caller must treat
+    the fallback as an event worth reporting (``SweepStats.serial_fallback``),
+    never silently degrade.
+    """
     if processes is None:
         processes = os.cpu_count() or 1
     processes = max(0, min(processes, n_configs))
     if processes <= 1:
-        return 0
-    if "fork" not in multiprocessing.get_all_start_methods():
-        return 0
-    return processes
+        return 0, None
+    available = multiprocessing.get_all_start_methods()
+    for method in _START_METHODS:
+        if method in available:
+            return processes, method
+    return 0, None
 
 
 def _run_serial(
@@ -394,8 +442,9 @@ def _run_parallel(
     processes: int,
     timeout_s: Optional[float],
     on_result: Callable[[int, SweepResult], None],
+    start_method: str = "fork",
 ) -> None:
-    ctx = multiprocessing.get_context("fork")
+    ctx = multiprocessing.get_context(start_method)
     queue = list(configs)[::-1]          # pop() takes them in input order
     running: Dict[object, Tuple[int, ExperimentConfig, object, float]] = {}
 
@@ -496,8 +545,10 @@ def run_sweep(
         come back in the same order.
     processes:
         Worker processes.  ``None`` means one per CPU (capped at the
-        number of configs); ``0`` or ``1`` runs serially in-process, as
-        does any platform without the ``fork`` start method.
+        number of configs); ``0`` or ``1`` runs serially in-process.  Any
+        available start method works (``fork`` preferred, ``spawn`` /
+        ``forkserver`` otherwise); a platform with none runs serially
+        with a stderr warning and ``SweepStats.serial_fallback`` set.
     timeout_s:
         Per-config wall-clock budget.  An over-budget worker is
         terminated and reported as a ``SweepError(kind="timeout")``
@@ -550,11 +601,24 @@ def run_sweep(
                 stats.cache_misses += 1
             to_run.append((idx, cfg))
 
-    n_workers = _resolve_processes(processes, len(to_run))
+    n_workers, start_method = _resolve_processes(processes, len(to_run))
     if n_workers == 0:
+        requested = processes if processes is not None else (os.cpu_count() or 1)
+        if requested > 1 and len(to_run) > 1:
+            # Parallelism was asked for and there is work to parallelise,
+            # yet no multiprocessing start method exists on this platform.
+            # Losing the machine's cores must never be invisible.
+            stats.serial_fallback = True
+            sys.stderr.write(
+                "repro.harness.sweep: WARNING: no multiprocessing start "
+                "method available on this platform — running "
+                f"{len(to_run)} configs serially\n"
+            )
         _run_serial(to_run, finish)
     else:
-        _run_parallel(to_run, n_workers, timeout_s, finish)
+        _run_parallel(
+            to_run, n_workers, timeout_s, finish, start_method=start_method
+        )
 
     stats.wall_s = time.monotonic() - sweep_start
     assert all(r is not None for r in results)

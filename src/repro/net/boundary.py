@@ -1,0 +1,103 @@
+"""Boundary-port proxies: where a partition's wires leave the building.
+
+In the partitioned engine (:mod:`repro.sim.parallel`) a leaf's uplinks
+are rewired from ``Link(spine, delay)`` to ``Link(BoundaryMux(spine_id),
+delay)``.  The mux *looks like* a downstream node to the egress port, but
+its ``receive`` must never fire: the :class:`~repro.sim.parallel.
+partition.PartitionSimulator` intercepts the delivery at ``schedule_tx``
+(matching on the mux's ``receive`` — an instance attribute, so the
+per-packet ``dst.receive`` lookup in ``EgressPort._transmit`` always
+yields the same object) and turns it into an outbox handoff instead.  A
+firing ``receive`` therefore means a transmission bypassed the
+interception point, which would silently break the lookahead guarantee —
+it raises immediately.
+
+Packets cross the boundary as plain tuples of their wire-visible fields
+(:meth:`BoundaryMux.export` / :func:`import_packet`): cheap to pickle
+over a ``multiprocessing`` pipe, and by construction free of object
+identity, so per-partition freelists stay independent.  ``enq_ts`` is
+deliberately not carried — it is switch-internal metadata re-stamped at
+the next enqueue, and the packet is mid-wire while crossing.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Tuple
+
+from repro.net.packet import Packet, PacketKind, release
+
+#: a packet flattened for the wire between partitions
+PackedPacket = Tuple[Any, ...]
+
+
+class BoundaryMux:
+    """Stand-in link destination for a cross-partition uplink."""
+
+    __slots__ = ("spine_id", "name", "receive")
+
+    def __init__(self, spine_id: int, name: str = "") -> None:
+        #: which spine's replica receives in the destination partition
+        self.spine_id = spine_id
+        self.name = name or f"boundary:spine{spine_id}"
+
+        def _misdelivered(pkt: Packet) -> None:
+            raise RuntimeError(
+                f"{self.name}: BoundaryMux.receive fired — a cross-"
+                "partition transmission bypassed the schedule_tx "
+                "interception (was the mux registered with "
+                "PartitionSimulator.register_boundary?)"
+            )
+
+        # an instance attribute (not a method) so every `dst.receive`
+        # lookup returns the identical object the sink registry keys on
+        self.receive = _misdelivered
+
+    def export(self, pkt: Packet) -> PackedPacket:
+        """Flatten ``pkt`` for the handoff and release the local frame.
+
+        The caller (``PartitionSimulator.schedule_tx``) owns the last
+        reference: ``EgressPort._transmit`` never touches a packet after
+        handing it to ``schedule_tx``, so the frame can go straight back
+        to the freelist.
+        """
+        fields = (
+            pkt.flow_id,
+            pkt.src,
+            pkt.dst,
+            int(pkt.kind),
+            pkt.seq,
+            pkt.payload,
+            pkt.ect,
+            pkt.dscp,
+            pkt.ts,
+            pkt.ce,
+            pkt.ece,
+            pkt.ts_echo,
+            pkt.is_retx,
+        )
+        release(pkt)
+        return fields
+
+
+def import_packet(fields: PackedPacket) -> Packet:
+    """Rebuild a packet from :meth:`BoundaryMux.export` fields.
+
+    Allocates directly (not via the ``make_*`` freelist constructors):
+    imports happen once per fabric crossing, and the rebuilt frame joins
+    the receiving partition's freelist at delivery like any other.
+    ``wire_size`` is re-derived by the constructor from kind/payload —
+    identical to the original by construction.
+    """
+    (
+        flow_id, src, dst, kind, seq, payload,
+        ect, dscp, ts, ce, ece, ts_echo, is_retx,
+    ) = fields
+    pkt = Packet(
+        flow_id, src, dst, PacketKind(kind),
+        seq=seq, payload=payload, ect=ect, dscp=dscp, ts=ts,
+    )
+    pkt.ce = ce
+    pkt.ece = ece
+    pkt.ts_echo = ts_echo
+    pkt.is_retx = is_retx
+    return pkt

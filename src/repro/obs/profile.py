@@ -53,6 +53,31 @@ class RunProfile:
             equeue_stats=sim.equeue_stats(),
         )
 
+    @classmethod
+    def from_dict(cls, d: Dict[str, object]) -> "RunProfile":
+        """Rebuild from :meth:`as_dict` output, ignoring unknown keys.
+
+        Profile dicts travel through caches and results produced by
+        newer or richer engines (the partitioned runner adds keys like
+        ``workers`` and ``per_partition``); consumers that only want the
+        common counters use this instead of ``RunProfile(**d)`` so extra
+        keys degrade gracefully.
+        """
+        known = {
+            f: d[f]
+            for f in (
+                "events",
+                "heap_hwm",
+                "wall_s",
+                "events_per_sec",
+                "rss_hwm_bytes",
+                "equeue",
+                "equeue_stats",
+            )
+            if f in d
+        }
+        return cls(**known)  # type: ignore[arg-type]
+
     def as_dict(self) -> Dict[str, object]:
         return {
             "events": self.events,

@@ -355,11 +355,23 @@ class Simulator:
         """Run events in order.
 
         Stops when the queue is empty, when the next event is later than
-        ``until``, or after ``max_events`` events.  The clock is advanced
-        to ``until`` only when no event remains at or before it — if the
-        run stopped on ``max_events`` with earlier events still pending,
-        the clock stays put so the next ``run()``/``step()`` never moves
-        time backwards.  Returns the number of events executed.
+        ``until``, or after ``max_events`` events.  Returns the number of
+        events executed.
+
+        Boundary contract (pinned by ``tests/test_run_boundaries.py`` on
+        every backend):
+
+        * ``until`` is **inclusive**: an event whose timestamp exactly
+          equals ``until`` executes in this call; the first event strictly
+          later stays queued.
+        * The clock is advanced to ``until`` only when no event remains at
+          or before it — if the run stopped on ``max_events`` with such
+          events still pending, the clock stays put (at the last executed
+          event's time) so the next ``run()``/``step()`` never moves time
+          backwards, and a later ``run(until=...)`` call resumes exactly
+          where the budget cut in.
+        * ``max_events`` counts executed (non-cancelled) events only, and
+          the run stops *after* the event that exhausts the budget.
         """
         heap = self._heap
         cancelled = self._cancelled
@@ -377,10 +389,15 @@ class Simulator:
         # that churn only scan for cycles that never exist.  Cyclic
         # garbage created by callbacks keeps accumulating until the
         # collector resumes below, which bounds the drift to one run call.
-        gc_was_enabled = gc.isenabled()
-        if gc_was_enabled:
-            gc.disable()
+        # The disable itself sits inside the try: the matching gc.enable()
+        # in the finally block must run even when a callback raises (or an
+        # async exception lands between the disable and the loop), or the
+        # process is left with the cyclic collector permanently off.
+        gc_was_enabled = False
         try:
+            gc_was_enabled = gc.isenabled()
+            if gc_was_enabled:
+                gc.disable()
             if heap is not None:
                 pop = heappop
                 while heap:

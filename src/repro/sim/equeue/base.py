@@ -53,8 +53,13 @@ class EventQueue:
         """Insert ``entry``; return the stored-entry count after insertion.
 
         Entries arrive with ``entry[0] >= now`` (the engine validates) and
-        strictly increasing ``entry[1]``.  The count includes tombstoned
-        entries the backend has not physically dropped yet — it feeds the
+        a **unique** ``entry[1]`` per live entry.  The serial engine hands
+        out strictly increasing seqs; the partitioned engine
+        (:mod:`repro.sim.parallel`) pushes composite seqs that are not
+        monotone across pushes — backends must only rely on uniqueness
+        (for ``cancel`` bookkeeping) and on full-tuple ordering, never on
+        push-order monotonicity.  The count includes tombstoned entries
+        the backend has not physically dropped yet — it feeds the
         ``heap_hwm`` profile counter, not correctness.
         """
         raise NotImplementedError

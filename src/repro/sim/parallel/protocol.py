@@ -1,0 +1,168 @@
+"""The conservative synchronization protocol, as pure logic.
+
+Nothing here touches sockets, processes or simulators — the two pieces
+(:func:`min_handoff_latency_ns` and :class:`ChunkSync`) are plain integer
+arithmetic, unit-tested directly, and shared verbatim by the in-process
+and multiprocessing drivers in :mod:`repro.sim.parallel.cluster`.
+
+Why it is safe
+--------------
+Every cross-partition packet leaves through a leaf uplink: its delivery
+time is ``u + serialize(pkt) + fabric_delay`` where ``u`` is the transmit
+decision time.  With ``L = serialize(min frame) + fabric_delay`` (the
+**lookahead**), any handoff generated while executing events at times
+``>= m̂`` (the global minimum pending-event time) lands at
+``rx >= m̂ + L``.  Running every partition through horizon
+``H = m̂ + L - 1`` therefore cannot miss an incoming event: all handoffs
+produced during the round are strictly later than ``H``, and they are
+exchanged at the barrier before the next round starts.
+
+Why it is *bit-equivalent* to the serial runner
+-----------------------------------------------
+The serial runner executes ``run(until=min(now + 50ms, deadline))``
+chunks, re-checking completion/deadline between chunks and breaking when
+the queue drains.  :class:`ChunkSync` clips every horizon to the same
+chunk boundaries and evaluates the same three stop conditions only at a
+boundary, in an order that yields the identical final ``sim_ns`` for
+every combination of conditions — so the partitioned run executes the
+exact event set of the serial run and stops at the exact same clock.
+"""
+
+from __future__ import annotations
+
+from repro.units import ACK_SIZE, SEC
+
+#: "no pending event" sentinel — beyond any reachable nanosecond
+#: timestamp (mirrors the engine's internal ``_NEVER``)
+INF = 2**63 - 1
+
+#: serialization constant: nanoseconds-per-second times bits-per-byte
+_BITS_NS = 8 * SEC
+
+
+def min_handoff_latency_ns(
+    fabric_rate_bps: int,
+    fabric_link_delay_ns: int,
+    min_wire_bytes: int = ACK_SIZE,
+) -> int:
+    """The conservative lookahead ``L`` for leaf -> spine handoffs.
+
+    A boundary transmission scheduled at time ``u`` is delivered at
+    ``u + ceil(wire_size * 8 / rate) + delay``; the smallest frame the
+    transport can put on the fabric is a pure ACK (``ACK_SIZE`` bytes),
+    so ``L`` is that frame's serialization time plus the propagation
+    delay.  The ceil-division matches ``EgressPort._transmit`` exactly —
+    an underestimate would only cost extra rounds, but an overestimate
+    would break the protocol, so we mirror the port's arithmetic.
+    """
+    if fabric_rate_bps <= 0:
+        raise ValueError(f"fabric rate must be positive, got {fabric_rate_bps}")
+    if fabric_link_delay_ns < 0:
+        raise ValueError(
+            f"fabric delay must be >= 0, got {fabric_link_delay_ns}"
+        )
+    tx_ns = -(-min_wire_bytes * _BITS_NS // fabric_rate_bps)
+    return tx_ns + fabric_link_delay_ns
+
+
+class ChunkSync:
+    """Horizon schedule that replays the serial runner's chunk loop.
+
+    One instance drives a whole run: each round the coordinator reports
+    the global minimum pending time ``m̂`` (over every partition's queue
+    *and* every not-yet-delivered handoff), gets back the horizon to run
+    to, and — when that horizon hit the current chunk boundary — asks
+    :meth:`on_boundary` whether the run is over.
+
+    The serial loop being emulated (``repro.harness.runner``)::
+
+        while collector.count < len(flows) and sim.now < deadline:
+            events += sim.run(until=min(sim.now + CHUNK, deadline))
+            if sim.idle:
+                break
+
+    which stops with ``sim.now`` on a chunk boundary in all three cases
+    (completion, deadline, drained queue) — reproduced here so the
+    partitioned run reports the identical ``sim_ns``.
+    """
+
+    __slots__ = (
+        "deadline_ns",
+        "lookahead_ns",
+        "total_flows",
+        "chunk_ns",
+        "boundary",
+        "stop_reason",
+        "sim_ns",
+    )
+
+    def __init__(
+        self,
+        deadline_ns: int,
+        lookahead_ns: int,
+        total_flows: int,
+        chunk_ns: int,
+    ) -> None:
+        if lookahead_ns < 1:
+            raise ValueError(f"lookahead must be >= 1 ns, got {lookahead_ns}")
+        if chunk_ns < 1:
+            raise ValueError(f"chunk must be >= 1 ns, got {chunk_ns}")
+        if deadline_ns < 1:
+            raise ValueError(f"deadline must be >= 1 ns, got {deadline_ns}")
+        self.deadline_ns = deadline_ns
+        self.lookahead_ns = lookahead_ns
+        self.total_flows = total_flows
+        self.chunk_ns = chunk_ns
+        #: the current chunk boundary — horizons never cross it
+        self.boundary = min(chunk_ns, deadline_ns)
+        #: why the run stopped: "completed" | "deadline" | "idle"
+        self.stop_reason = ""
+        #: the final simulated clock, valid once :meth:`on_boundary`
+        #: returned True
+        self.sim_ns = 0
+
+    def horizon(self, m_hat: int) -> int:
+        """The next safe horizon for minimum pending time ``m_hat``.
+
+        ``m̂ + L - 1`` is the last nanosecond no in-flight handoff can
+        reach (handoffs land at ``>= m̂ + L``), clipped to the chunk
+        boundary so stop conditions are evaluated exactly where the
+        serial runner evaluates them.  An idle fabric (``m_hat == INF``)
+        fast-forwards straight to the boundary.
+        """
+        b = self.boundary
+        if m_hat >= INF:
+            return b
+        h = m_hat + self.lookahead_ns - 1
+        return b if h > b else h
+
+    def at_boundary(self, h: int) -> bool:
+        """True when horizon ``h`` reached the current chunk boundary."""
+        return h == self.boundary
+
+    def on_boundary(self, m_hat: int, completed: int) -> bool:
+        """Evaluate the serial loop's stop conditions at the boundary.
+
+        ``m_hat`` is the post-round global minimum (queues plus
+        undelivered handoffs); ``completed`` the total completed-flow
+        count.  Returns True when the run is over — ``stop_reason`` and
+        ``sim_ns`` are then final — otherwise advances to the next chunk
+        boundary.  All three stop cases leave the clock *on* the current
+        boundary, matching the serial runner (whose ``run(until=...)``
+        always parks ``sim.now`` on the chunk bound it ran to).
+        """
+        b = self.boundary
+        if completed >= self.total_flows:
+            self.stop_reason = "completed"
+            self.sim_ns = b
+            return True
+        if b >= self.deadline_ns:
+            self.stop_reason = "deadline"
+            self.sim_ns = b
+            return True
+        if m_hat >= INF:
+            self.stop_reason = "idle"
+            self.sim_ns = b
+            return True
+        self.boundary = min(b + self.chunk_ns, self.deadline_ns)
+        return False

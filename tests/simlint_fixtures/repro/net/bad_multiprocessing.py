@@ -1,0 +1,9 @@
+"""SIM012 fixture: multiprocessing smuggled into packet-layer code."""
+import multiprocessing  # expect: SIM012
+from multiprocessing import Pool  # expect: SIM012
+from multiprocessing.pool import ThreadPool  # expect: SIM012
+
+
+def parallel_checksums(frames):
+    with multiprocessing.Pool() as pool:
+        return pool.map(sum, frames)

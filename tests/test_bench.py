@@ -30,12 +30,13 @@ def _result(scenario="port_saturation", eps=100_000.0, **kw):
 
 
 class TestScenarios:
-    def test_the_four_pinned_scenarios_exist(self):
+    def test_the_five_pinned_scenarios_exist(self):
         assert set(SCENARIOS) == {
             "engine_churn",
             "port_saturation",
             "incast",
             "leafspine_slice",
+            "leafspine_full",
         }
 
     def test_run_scenario_produces_metrics(self):

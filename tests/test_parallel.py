@@ -1,0 +1,425 @@
+"""The partitioned engine: unit protocol tests and digest-checked
+serial equivalence.
+
+The acceptance contract of repro.sim.parallel is that a leafspine
+experiment produces **bit-identical results** on the serial engine and
+on the partitioned engine at any worker count — pinned here three ways:
+
+* field-by-field result comparison (FCTs, counters, events, sim_ns,
+  metrics, trace);
+* SHA-256 golden digests of the FCT vector and the canonicalized trace,
+  so a regression in *either* engine (not just a divergence between
+  them) fails loudly;
+* worker-count invariance (1 vs 2 vs 4) — which holds by construction,
+  since the partitioning is per-leaf regardless of worker count.
+
+Known, accepted divergence: events from *different* partitions carrying
+the same fire time **and** the same scheduling time may interleave
+differently than the serial engine's global counter would have ordered
+them (the composite key cannot recover global scheduling order inside
+one nanosecond).  The trace digest is therefore computed over *sorted*
+lines; on configs where such ties occur the per-line content can still
+differ (observed: ACK pairs meeting at a spine in the same nanosecond).
+The reference config below has no such ties, so even the trace digest
+matches the serial run exactly.
+
+Golden regeneration: run the module with ``--regen`` semantics by
+printing the digests from ``_digests`` below after an intentional
+behaviour change, and update the constants.
+"""
+
+import hashlib
+import json
+import multiprocessing
+
+import pytest
+
+from repro.harness.config import ExperimentConfig
+from repro.harness.runner import run_experiment
+from repro.net.boundary import BoundaryMux, import_packet
+from repro.net.packet import Packet, PacketKind
+from repro.obs import Tracer
+from repro.sim.parallel import (
+    INF,
+    ChunkSync,
+    PartitionSimulator,
+    min_handoff_latency_ns,
+)
+from repro.sim.parallel.cluster import _digest_reports, _merge_metrics
+from repro.sim.parallel.partition import (
+    ARRIVAL_BIT,
+    HANDOFF_LIMIT,
+    MAX_PARTITIONS,
+    TIME_SHIFT,
+)
+
+HAS_MP = bool(multiprocessing.get_all_start_methods())
+
+# -- protocol unit tests ---------------------------------------------------
+
+
+class TestLookahead:
+    def test_matches_port_serialization_arithmetic(self):
+        # 40 B at 1 Gbps = ceil(320 bits / 1 bit-per-ns) = 320 ns, + 650
+        assert min_handoff_latency_ns(10**9, 650) == 970
+
+    def test_ceil_division(self):
+        # 40 B at 3 Gbps: 320/3 = 106.67 -> 107
+        assert min_handoff_latency_ns(3 * 10**9, 0) == 107
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            min_handoff_latency_ns(0, 650)
+        with pytest.raises(ValueError):
+            min_handoff_latency_ns(10**9, -1)
+
+
+class TestChunkSync:
+    def test_horizon_is_lookahead_bounded(self):
+        sync = ChunkSync(10**9, 970, 5, 50_000_000)
+        assert sync.horizon(1000) == 1000 + 970 - 1
+
+    def test_horizon_clips_to_chunk_boundary(self):
+        sync = ChunkSync(10**9, 970, 5, 50_000_000)
+        assert sync.horizon(50_000_000 - 10) == 50_000_000
+
+    def test_idle_fabric_fast_forwards_to_boundary(self):
+        sync = ChunkSync(10**9, 970, 5, 50_000_000)
+        assert sync.horizon(INF) == 50_000_000
+
+    def test_boundary_clips_to_deadline(self):
+        sync = ChunkSync(30_000_000, 970, 5, 50_000_000)
+        assert sync.boundary == 30_000_000
+
+    def test_stop_on_completion(self):
+        sync = ChunkSync(10**9, 970, 5, 50_000_000)
+        assert sync.on_boundary(m_hat=123, completed=5)
+        assert sync.stop_reason == "completed"
+        assert sync.sim_ns == 50_000_000
+
+    def test_stop_on_deadline(self):
+        sync = ChunkSync(70_000_000, 970, 5, 50_000_000)
+        assert not sync.on_boundary(m_hat=123, completed=0)
+        assert sync.boundary == 70_000_000  # clipped to the deadline
+        assert sync.on_boundary(m_hat=123, completed=0)
+        assert sync.stop_reason == "deadline"
+        assert sync.sim_ns == 70_000_000
+
+    def test_stop_on_idle(self):
+        sync = ChunkSync(10**9, 970, 5, 50_000_000)
+        assert sync.on_boundary(m_hat=INF, completed=0)
+        assert sync.stop_reason == "idle"
+        assert sync.sim_ns == 50_000_000
+
+    def test_advances_one_chunk_at_a_time(self):
+        sync = ChunkSync(10**9, 970, 5, 50_000_000)
+        for k in range(2, 5):
+            assert not sync.on_boundary(m_hat=123, completed=0)
+            assert sync.boundary == k * 50_000_000
+
+    def test_validation(self):
+        for bad in ((0, 970, 1, 1), (10, 0, 1, 1), (10, 970, 1, 0)):
+            deadline, lookahead, flows, chunk = bad
+            with pytest.raises(ValueError):
+                ChunkSync(deadline, lookahead, flows, chunk)
+
+
+class _FakeSink:
+    """Minimal BoundarySink: records exports, returns packet fields."""
+
+    def __init__(self, spine_id):
+        self.spine_id = spine_id
+        self.exported = []
+
+    def export(self, pkt):
+        self.exported.append(pkt)
+        return ("pkt", pkt.flow_id, pkt.dst)
+
+
+class TestPartitionSimulator:
+    def test_pid_range_is_validated(self):
+        with pytest.raises(ValueError):
+            PartitionSimulator(-1)
+        with pytest.raises(ValueError):
+            PartitionSimulator(MAX_PARTITIONS)
+
+    def test_same_timestamp_fifo_order(self):
+        sim = PartitionSimulator(0)
+        log = []
+        for i in range(5):
+            sim.schedule(100, lambda i=i: log.append(i))
+        sim.run()
+        assert log == [0, 1, 2, 3, 4]
+
+    def test_negative_delay_and_past_schedule_raise(self):
+        sim = PartitionSimulator(0)
+        with pytest.raises(ValueError):
+            sim.schedule(-1, lambda: None)
+        sim.schedule(10, lambda: None)
+        sim.run()
+        with pytest.raises(ValueError):
+            sim.schedule_at(5, lambda: None)
+
+    def test_non_boundary_tx_schedules_pair(self):
+        sim = PartitionSimulator(0)
+        log = []
+        pkt = object()
+        sim.schedule_tx(10, lambda: log.append("done"), 25,
+                        lambda p: log.append(("rx", p)), pkt)
+        assert sim.run() == 2
+        assert log == ["done", ("rx", pkt)]
+        assert sim.outbox == []
+
+    def test_boundary_tx_captures_handoff(self):
+        sim = PartitionSimulator(3)
+        sink = _FakeSink(spine_id=1)
+
+        def rx_fn(p):
+            raise AssertionError("boundary delivery must not fire locally")
+
+        sim.register_boundary(rx_fn, sink)
+        log = []
+        pkt = Packet(7, 0, 5, PacketKind.DATA, seq=2, payload=1000)
+        sim.schedule_tx(10, lambda: log.append("done"), 25, rx_fn, pkt)
+        # the serializer-done tick is the only local event
+        assert sim.run() == 1
+        assert log == ["done"]
+        assert sink.exported == [pkt]
+        [(rx_abs, aseq, spine_id, fields)] = sim.drain_outbox()
+        assert rx_abs == 25
+        assert spine_id == 1
+        assert fields == ("pkt", 7, 5)
+        # composite arrival key: send-time bits, arrival flag, source pid
+        assert aseq >> TIME_SHIFT == 0
+        assert aseq & ARRIVAL_BIT
+        assert (aseq >> 14) & (MAX_PARTITIONS - 1) == 3
+        assert sim.outbox == []  # drained
+
+    def test_arrival_sorts_after_same_sched_time_locals(self):
+        # locals keep bit 23 clear, arrivals set it: for the same
+        # scheduling nanosecond, local events order first
+        sim = PartitionSimulator(0)
+        log = []
+        sim.insert_arrival(
+            100, (0 << TIME_SHIFT) | ARRIVAL_BIT,
+            lambda p: log.append("arrival"), None,
+        )
+        sim.schedule(100, lambda: log.append("local"))
+        sim.run()
+        assert log == ["local", "arrival"]
+
+    def test_insert_arrival_in_the_past_raises(self):
+        sim = PartitionSimulator(0)
+        sim.schedule(100, lambda: None)
+        sim.run()
+        assert sim.now == 100
+        with pytest.raises(RuntimeError, match="lookahead"):
+            sim.insert_arrival(100, ARRIVAL_BIT, lambda p: None, None)
+
+    def test_handoff_counter_exhaustion_raises(self):
+        sim = PartitionSimulator(0)
+        sink = _FakeSink(spine_id=0)
+        rx = lambda p: None  # noqa: E731
+        sim.register_boundary(rx, sink)
+        sim._handoff_cnt = HANDOFF_LIMIT  # simulate an exhausted nanosecond
+        sim._seq_time = sim.now
+        with pytest.raises(RuntimeError, match="handoff"):
+            sim.schedule_tx(
+                1, lambda: None, 2, rx, Packet(1, 0, 1, PacketKind.DATA)
+            )
+
+
+class TestBoundaryMux:
+    def test_receive_raises(self):
+        mux = BoundaryMux(2)
+        with pytest.raises(RuntimeError, match="bypassed"):
+            mux.receive(Packet(1, 0, 1, PacketKind.DATA))
+
+    def test_receive_is_identity_stable(self):
+        mux = BoundaryMux(0)
+        assert mux.receive is mux.receive  # dict-keyable across lookups
+
+    def test_export_import_roundtrip(self):
+        pkt = Packet(
+            11, 3, 9, PacketKind.ACK, seq=42, payload=0,
+            ect=True, dscp=5, ts=123456,
+        )
+        pkt.ce = True
+        pkt.ece = True
+        pkt.ts_echo = 999
+        pkt.is_retx = True
+        wire_size = pkt.wire_size
+        rebuilt = import_packet(BoundaryMux(0).export(pkt))
+        assert rebuilt.flow_id == 11
+        assert rebuilt.src == 3 and rebuilt.dst == 9
+        assert rebuilt.kind is PacketKind.ACK
+        assert rebuilt.seq == 42
+        assert rebuilt.ect and rebuilt.dscp == 5 and rebuilt.ts == 123456
+        assert rebuilt.ce and rebuilt.ece
+        assert rebuilt.ts_echo == 999 and rebuilt.is_retx
+        assert rebuilt.wire_size == wire_size
+
+
+class TestCoordinatorHelpers:
+    def test_digest_reports_min_over_queues_and_outboxes(self):
+        hpl = 2
+        handoff = (500, 7, 0, ("pkt", 1, 5))  # dst host 5 -> partition 2
+        reports = {
+            0: (1000, [handoff], 1, 10),
+            1: (INF, [], 2, 20),
+        }
+        m_hat, completed, route = _digest_reports(reports, hpl)
+        assert m_hat == 500  # the undelivered handoff, not the queue min
+        assert completed == 3
+        assert route == {2: [handoff]}
+
+    def test_digest_reports_all_idle(self):
+        m_hat, completed, route = _digest_reports(
+            {0: (INF, [], 0, 0), 1: (INF, [], 0, 0)}, 2
+        )
+        assert m_hat == INF and completed == 0 and route == {}
+
+    def test_merge_metrics_sums_counters_and_maxes_gauges(self):
+        merged = _merge_metrics([
+            {"p.rx_pkts": 5, "q.max_bytes_seen": 100},
+            {"p.rx_pkts": 7, "q.max_bytes_seen": 300},
+            {"p.rx_pkts": 0, "q.max_bytes_seen": 0},
+        ])
+        assert merged == {"p.rx_pkts": 12, "q.max_bytes_seen": 300}
+
+    def test_merge_metrics_histograms(self):
+        a = {"h": {"type": "histogram", "count": 2, "sum": 30,
+                   "min": 10, "max": 20, "buckets": {"3": 2}}}
+        b = {"h": {"type": "histogram", "count": 1, "sum": 5,
+                   "min": 5, "max": 5, "buckets": {"2": 1}}}
+        c = {"h": {"type": "histogram", "count": 0, "sum": 0,
+                   "min": None, "max": None, "buckets": {}}}
+        merged = _merge_metrics([a, b, c])
+        assert merged["h"] == {
+            "type": "histogram", "count": 3, "sum": 35,
+            "min": 5, "max": 20, "buckets": {"3": 2, "2": 1},
+        }
+        # inputs were not mutated
+        assert a["h"]["count"] == 2 and b["h"]["buckets"] == {"2": 1}
+
+
+# -- serial equivalence (the acceptance) -----------------------------------
+
+#: the reference config: 4 leaves (= 4 partitions) x 2 spines x 2 hosts
+#: per leaf, every leaf pair exchanging websearch traffic
+_REFERENCE = dict(
+    topology="leafspine", n_leaf=4, n_spine=2, hosts_per_leaf=2,
+    workload="websearch", transport="dctcp", scheme="tcn",
+    scheduler="dwrr", load=0.6, n_flows=40, seed=5,
+)
+
+#: golden digests of the serial run on the reference config — update
+#: only with an intentional behaviour change, and say why in the commit
+_GOLDEN_FCT = (
+    "07943316c186358824a50c0f351689aa542b6114d64f3307c95114cdc34bfbf8"
+)
+_GOLDEN_TRACE = (
+    "9f411b3fe3c779781aadf252b81151227771d41fbf34765448c042af84713d40"
+)
+
+
+def _run(workers):
+    tracer = Tracer(capacity=None)
+    result = run_experiment(
+        ExperimentConfig(workers=workers, **_REFERENCE), tracer=tracer
+    )
+    return result, tracer
+
+
+def _digests(result, tracer):
+    fct = hashlib.sha256(
+        json.dumps(
+            [(f.id, f.fct_ns, f.completed) for f in result.flows]
+        ).encode()
+    ).hexdigest()
+    lines = sorted(json.dumps(list(e)) for e in tracer.events)
+    trace = hashlib.sha256("\n".join(lines).encode()).hexdigest()
+    return fct, trace
+
+
+@pytest.fixture(scope="module")
+def serial():
+    return _run(0)
+
+
+@pytest.fixture(scope="module")
+def in_process():
+    return _run(1)
+
+
+def _assert_equivalent(serial, other):
+    a, tr_a = serial
+    b, tr_b = other
+    assert [(f.id, f.fct_ns, f.completed) for f in a.flows] == [
+        (f.id, f.fct_ns, f.completed) for f in b.flows
+    ]
+    assert (a.completed, a.total) == (b.completed, b.total)
+    assert a.events == b.events
+    assert a.sim_ns == b.sim_ns
+    assert (a.drops, a.marks) == (b.drops, b.marks)
+    assert (a.timeouts, a.timeouts_small) == (b.timeouts, b.timeouts_small)
+    assert a.summary.avg_all_ns == b.summary.avg_all_ns
+    assert a.summary.p99_small_ns == b.summary.p99_small_ns
+    assert a.metrics == b.metrics
+    assert _digests(*serial) == _digests(*other)
+
+
+class TestSerialEquivalence:
+    def test_goldens_pin_the_serial_run(self, serial):
+        fct, trace = _digests(*serial)
+        assert fct == _GOLDEN_FCT
+        assert trace == _GOLDEN_TRACE
+
+    def test_workers_1_in_process(self, serial, in_process):
+        _assert_equivalent(serial, in_process)
+        assert in_process[0].profile["start_method"] == "in-process"
+        assert in_process[0].profile["partitions"] == 4
+
+    @pytest.mark.skipif(not HAS_MP, reason="no multiprocessing start method")
+    def test_workers_2_multiprocessing(self, serial):
+        par = _run(2)
+        _assert_equivalent(serial, par)
+        assert par[0].profile["workers"] == 2
+        assert par[0].profile["start_method"] != "in-process"
+
+    @pytest.mark.skipif(not HAS_MP, reason="no multiprocessing start method")
+    def test_workers_4_multiprocessing(self, serial):
+        par = _run(4)
+        _assert_equivalent(serial, par)
+        assert par[0].profile["workers"] == 4
+
+    def test_profile_accounting(self, serial, in_process):
+        profile = in_process[0].profile
+        per_part = profile["per_partition"]
+        assert len(per_part) == 4
+        assert sum(p["events"] for p in per_part) == profile["events"]
+        assert profile["events"] == serial[0].events
+        assert profile["rounds"] > 0
+        assert profile["cpu_count"] >= 1
+
+    def test_workers_clamped_to_partitions(self):
+        # more workers than leaves just idles the surplus — results and
+        # the recorded worker count stay at the partition count
+        result, _ = _run(99)
+        assert result.profile["workers"] <= 4
+        assert result.profile["partitions"] == 4
+
+
+class TestValidation:
+    def test_workers_require_leafspine(self):
+        cfg = ExperimentConfig(
+            scheme="tcn", scheduler="dwrr", workload="websearch",
+            n_flows=10, workers=2,
+        )
+        with pytest.raises(ValueError, match="workers"):
+            cfg.validate()
+
+    def test_negative_workers_rejected(self):
+        cfg = ExperimentConfig(workers=-1, **_REFERENCE)
+        with pytest.raises(ValueError, match="workers"):
+            cfg.validate()

@@ -1,0 +1,183 @@
+"""Pin ``Simulator.run``'s boundary contract on every equeue backend.
+
+The partitioned engine (repro.sim.parallel) leans on these exact
+semantics — its barrier protocol runs partitions to shared horizons with
+``run(until=...)`` and reasons about which events executed — so the
+contract documented on ``Simulator.run`` is pinned here for heap, ladder
+and wheel alike:
+
+* ``until`` is inclusive; the first strictly-later event stays queued;
+* when nothing remains at or before ``until``, the clock advances to
+  ``until`` exactly (idempotently);
+* ``max_events`` counts executed events only and stops *after* the
+  budget-exhausting event, leaving the clock on that event's timestamp.
+
+Plus the GC regression: ``run`` disables gc for the hot loop and must
+restore it even when a callback raises.
+"""
+
+import gc
+
+import pytest
+
+from repro.sim.engine import Simulator
+from repro.sim.equeue import BACKENDS
+
+pytestmark = pytest.mark.parametrize("equeue", sorted(BACKENDS))
+
+
+def _log_cb(log, label):
+    def cb():
+        log.append(label)
+
+    return cb
+
+
+class TestUntilBoundary:
+    def test_event_exactly_at_until_executes(self, equeue):
+        sim = Simulator(equeue=equeue)
+        log = []
+        sim.schedule(100, _log_cb(log, "at"))
+        sim.schedule(101, _log_cb(log, "after"))
+        executed = sim.run(until=100)
+        assert executed == 1
+        assert log == ["at"]
+        assert sim.now == 100
+
+    def test_event_after_until_stays_queued(self, equeue):
+        sim = Simulator(equeue=equeue)
+        log = []
+        sim.schedule(101, _log_cb(log, "after"))
+        assert sim.run(until=100) == 0
+        assert log == []
+        assert not sim.idle
+        assert sim.peek_time() == 101
+        # the event is intact and fires on the next call
+        assert sim.run(until=101) == 1
+        assert log == ["after"]
+
+    def test_clock_advances_to_until_when_drained(self, equeue):
+        sim = Simulator(equeue=equeue)
+        sim.schedule(10, lambda: None)
+        sim.run(until=500)
+        assert sim.now == 500
+
+    def test_clock_advance_is_idempotent(self, equeue):
+        """Chunked driving: an empty chunk still parks now on the bound."""
+        sim = Simulator(equeue=equeue)
+        sim.schedule(10, lambda: None)
+        for bound in (100, 200, 300):
+            sim.run(until=bound)
+            assert sim.now == bound
+        assert sim.events_executed == 1
+
+    def test_until_in_the_past_is_a_noop(self, equeue):
+        sim = Simulator(equeue=equeue)
+        sim.schedule(10, lambda: None)
+        sim.schedule(300, lambda: None)
+        sim.run(until=200)
+        assert sim.now == 200
+        assert sim.run(until=100) == 0
+        assert sim.now == 200  # the clock never moves backward
+
+    def test_until_does_not_advance_past_pending_event(self, equeue):
+        """The tail advance only fires when nothing remains <= until."""
+        sim = Simulator(equeue=equeue)
+        sim.schedule(50, lambda: None)
+        sim.schedule(150, lambda: None)
+        sim.run(until=100)
+        assert sim.now == 100
+        assert sim.peek_time() == 150
+
+    def test_same_timestamp_events_all_run_at_until(self, equeue):
+        sim = Simulator(equeue=equeue)
+        log = []
+        for i in range(5):
+            sim.schedule(100, _log_cb(log, i))
+        assert sim.run(until=100) == 5
+        assert log == [0, 1, 2, 3, 4]  # schedule order preserved
+
+
+class TestMaxEvents:
+    def test_budget_counts_executed_only(self, equeue):
+        sim = Simulator(equeue=equeue)
+        fired = []
+        for i in range(10):
+            sim.schedule(10 * (i + 1), _log_cb(fired, i))
+        assert sim.run(max_events=3) == 3
+        assert fired == [0, 1, 2]
+        # clock rests on the budget-exhausting event's timestamp
+        assert sim.now == 30
+        assert sim.peek_time() == 40
+
+    def test_budget_with_until_stops_at_whichever_first(self, equeue):
+        sim = Simulator(equeue=equeue)
+        for i in range(10):
+            sim.schedule(10 * (i + 1), lambda: None)
+        # budget binds before the time bound ...
+        assert sim.run(until=1000, max_events=2) == 2
+        assert sim.now == 20
+        # ... and the time bound binds before the budget
+        assert sim.run(until=50, max_events=100) == 3
+        assert sim.now == 50
+
+    def test_cancelled_events_do_not_consume_budget(self, equeue):
+        sim = Simulator(equeue=equeue)
+        fired = []
+        handles = [sim.schedule(10 * (i + 1), _log_cb(fired, i)) for i in range(6)]
+        for handle in handles[:3]:
+            sim.cancel(handle)
+        assert sim.run(max_events=3) == 3
+        assert fired == [3, 4, 5]
+
+    def test_resume_after_budget_is_seamless(self, equeue):
+        """Driving by repeated small budgets executes the same schedule."""
+        sim_a = Simulator(equeue=equeue)
+        sim_b = Simulator(equeue=equeue)
+        log_a, log_b = [], []
+        for sim, log in ((sim_a, log_a), (sim_b, log_b)):
+            for i in range(20):
+                sim.schedule(7 * (i % 5) + i, _log_cb(log, i))
+        total_a = sim_a.run()
+        total_b = 0
+        while True:
+            n = sim_b.run(max_events=3)
+            total_b += n
+            if n == 0:
+                break
+        assert total_a == total_b == 20
+        assert log_a == log_b
+
+
+class TestGcRestoration:
+    def test_gc_reenabled_after_clean_run(self, equeue):
+        assert gc.isenabled()
+        sim = Simulator(equeue=equeue)
+        sim.schedule(1, lambda: None)
+        sim.run()
+        assert gc.isenabled()
+
+    def test_gc_reenabled_when_callback_raises(self, equeue):
+        """Regression: the hot loop disables gc; a raising callback must
+        not leak the disabled state into the caller's process."""
+        assert gc.isenabled()
+        sim = Simulator(equeue=equeue)
+
+        def boom():
+            raise RuntimeError("injected")
+
+        sim.schedule(1, boom)
+        with pytest.raises(RuntimeError, match="injected"):
+            sim.run()
+        assert gc.isenabled()
+
+    def test_gc_state_preserved_if_caller_disabled_it(self, equeue):
+        """run() restores the caller's state, whatever it was."""
+        sim = Simulator(equeue=equeue)
+        sim.schedule(1, lambda: None)
+        gc.disable()
+        try:
+            sim.run()
+            assert not gc.isenabled()
+        finally:
+            gc.enable()

@@ -305,3 +305,139 @@ class TestSweepCli:
         ])
         assert rc == 0
         assert "cache hits" in capsys.readouterr().out
+
+
+class TestResolveProcesses:
+    """The spawn-safe bootstrap decision: worker count + start method."""
+
+    def test_serial_when_requested(self):
+        assert sweep_mod._resolve_processes(0, 10) == (0, None)
+        assert sweep_mod._resolve_processes(1, 10) == (0, None)
+
+    def test_serial_when_single_config(self):
+        n, method = sweep_mod._resolve_processes(8, 1)
+        assert n == 0 and method is None
+
+    def test_workers_clamped_to_config_count(self):
+        n, method = sweep_mod._resolve_processes(8, 3)
+        assert n == 3 and method in sweep_mod._START_METHODS
+
+    def test_prefers_fork_over_spawn(self, monkeypatch):
+        monkeypatch.setattr(
+            multiprocessing, "get_all_start_methods",
+            lambda: ["spawn", "forkserver", "fork"],
+        )
+        assert sweep_mod._resolve_processes(2, 4) == (2, "fork")
+
+    def test_falls_back_to_spawn(self, monkeypatch):
+        monkeypatch.setattr(
+            multiprocessing, "get_all_start_methods", lambda: ["spawn"]
+        )
+        assert sweep_mod._resolve_processes(2, 4) == (2, "spawn")
+
+    def test_no_start_method_means_serial(self, monkeypatch):
+        monkeypatch.setattr(
+            multiprocessing, "get_all_start_methods", lambda: []
+        )
+        assert sweep_mod._resolve_processes(4, 4) == (0, None)
+
+
+class TestSerialFallback:
+    """No start method at all: run serially, but never silently."""
+
+    def test_flag_and_warning(self, monkeypatch, capsys):
+        monkeypatch.setattr(
+            multiprocessing, "get_all_start_methods", lambda: []
+        )
+        outcome = run_sweep(_grid()[:2], processes=4)
+        assert outcome.ok
+        assert outcome.stats.serial_fallback
+        err = capsys.readouterr().err
+        assert "WARNING" in err and "serially" in err
+
+    def test_requested_serial_does_not_trip_the_flag(self, capsys):
+        outcome = run_sweep(_grid()[:2], processes=0)
+        assert not outcome.stats.serial_fallback
+        assert "WARNING" not in capsys.readouterr().err
+
+    def test_results_match_parallel_path(self, monkeypatch):
+        configs = _grid()[:2]
+        normal = run_sweep(configs, processes=0)
+        monkeypatch.setattr(
+            multiprocessing, "get_all_start_methods", lambda: []
+        )
+        fallback = run_sweep(configs, processes=4)
+        for a, b in zip(normal, fallback):
+            assert _canon(a) == _canon(b)
+
+
+@pytest.mark.skipif(
+    "spawn" not in multiprocessing.get_all_start_methods(),
+    reason="spawn unavailable",
+)
+class TestSpawnBootstrap:
+    def test_sweep_runs_under_spawn(self, monkeypatch):
+        """The worker entry point must bootstrap without inheriting the
+        parent's interpreter state (the spawn-safety contract)."""
+        configs = _grid()[:2]
+        serial = run_sweep(configs, processes=0)
+        monkeypatch.setattr(
+            multiprocessing, "get_all_start_methods", lambda: ["spawn"]
+        )
+        spawned = run_sweep(configs, processes=2)
+        assert spawned.ok and not spawned.stats.serial_fallback
+        for a, b in zip(serial, spawned):
+            assert _canon(a) == _canon(b)
+
+
+class TestAtomicCacheWrites:
+    def test_truncated_entry_is_a_miss_not_a_crash(self, tmp_path):
+        """Inject the torn write os.replace() exists to prevent: a valid
+        JSON prefix cut mid-payload must read as a miss and be re-run."""
+        cache = ResultCache(tmp_path)
+        cfg = ExperimentConfig(scheme="tcn", seed=1, **BASE)
+        run_sweep([cfg], processes=0, cache=cache)
+        path = cache.path_for(config_key(cfg))
+        whole = open(path).read()
+        with open(path, "w") as fh:
+            fh.write(whole[: len(whole) // 2])
+        again = run_sweep([cfg], processes=0, cache=cache)
+        assert again.stats.cache_hits == 0
+        assert again[0].ok
+        # the re-run republished a complete entry
+        final = run_sweep([cfg], processes=0, cache=cache)
+        assert final.stats.cache_hits == 1
+
+    def test_failed_put_leaves_no_entry_and_no_tmp(self, tmp_path, monkeypatch):
+        cache = ResultCache(tmp_path)
+        cfg = ExperimentConfig(scheme="tcn", seed=1, **BASE)
+
+        def boom(src, dst):
+            raise OSError("disk full")
+
+        monkeypatch.setattr(sweep_mod.os, "replace", boom)
+        with pytest.raises(OSError, match="disk full"):
+            cache.put(cfg, {"fake": 1}, 0.0)
+        assert os.listdir(tmp_path) == []  # no final entry, no *.tmp.*
+
+    def test_put_is_atomic_under_concurrent_read(self, tmp_path):
+        """A reader polling during put() only ever sees a complete entry."""
+        cache = ResultCache(tmp_path)
+        cfg = ExperimentConfig(scheme="tcn", seed=1, **BASE)
+        real_replace = os.replace
+        observed = []
+
+        def racing_replace(src, dst):
+            # the moment before publication: the reader must miss
+            observed.append(cache.get(cfg))
+            real_replace(src, dst)
+            # the moment after: the reader must hit the complete entry
+            observed.append(cache.get(cfg))
+
+        import unittest.mock as mock
+
+        with mock.patch.object(sweep_mod.os, "replace", racing_replace):
+            cache.put(cfg, {"fake": 1}, 0.0)
+        before, after = observed
+        assert before is None
+        assert after is not None and after["payload"] == {"fake": 1}
