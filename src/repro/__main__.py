@@ -11,6 +11,16 @@ Examples::
     python -m repro run --scheme tcn --trace out.jsonl --ports
     python -m repro trace out.jsonl
 
+    # convert the packet trace for https://ui.perfetto.dev
+    python -m repro trace out.jsonl --format chrome --out trace.json
+
+    # record the harness flight recorder, then inspect / export it
+    python -m repro run --topology leafspine --workers 2 --spans spans.jsonl
+    python -m repro timeline spans.jsonl --chrome timeline.json
+
+    # one self-contained run report (markdown or HTML)
+    python -m repro report --topology leafspine --workers 2 --out report.md
+
     # cartesian sweep (repeat a flag to add grid points), 4 workers,
     # results cached under benchmarks/.cache/
     python -m repro sweep --scheme tcn --scheme red_std \\
@@ -30,18 +40,30 @@ import itertools
 import sys
 
 from repro.harness.config import ExperimentConfig
-from repro.harness.report import format_fct_rows, format_port_breakdown
+from repro.harness.report import (
+    format_fct_rows,
+    format_port_breakdown,
+    format_stall_table,
+)
 from repro.harness.runner import run_experiment
 from repro.harness.schemes import SCHEDULERS, SCHEMES, TRANSPORTS
 from repro.harness.sweep import ResultCache, SweepResult, run_sweep
 from repro.obs import (
     DEFAULT_CAPACITY,
+    DEFAULT_SPAN_CAPACITY,
     RunProfile,
+    SpanRecorder,
     Tracer,
+    format_span_summary,
     format_trace_summary,
+    load_spans_jsonl,
+    stall_table,
     summarize_events,
     summarize_trace_file,
+    trace_events_to_chrome,
+    write_chrome,
 )
+from repro.obs.spans import write_chrome_doc
 from repro.sim.equeue import BACKENDS
 from repro.units import KB
 
@@ -99,6 +121,28 @@ def build_parser() -> argparse.ArgumentParser:
             "docs/PARALLEL.md)"
         ),
     )
+    parser.add_argument(
+        "--spans", metavar="PATH", default=None,
+        help=(
+            "record the harness flight recorder (chunk / round-phase / "
+            "sync spans) and write it as JSONL to PATH — feed it to "
+            "`repro timeline`"
+        ),
+    )
+    parser.add_argument(
+        "--spans-chrome", metavar="PATH", default=None,
+        help=(
+            "also export the flight recorder as Chrome trace-event JSON "
+            "(open at https://ui.perfetto.dev); implies span recording"
+        ),
+    )
+    parser.add_argument(
+        "--span-limit", type=int, default=DEFAULT_SPAN_CAPACITY,
+        help=(
+            "span ring capacity (oldest rounds evicted first; default "
+            f"{DEFAULT_SPAN_CAPACITY})"
+        ),
+    )
     return parser
 
 
@@ -107,10 +151,69 @@ def build_trace_parser() -> argparse.ArgumentParser:
         prog="python -m repro trace",
         description=(
             "Summarize a JSONL event trace (written by `run --trace`): "
-            "per-queue mark rates, sojourn percentiles, drop causes."
+            "per-queue mark rates, sojourn percentiles, drop causes — "
+            "or convert it to Chrome trace-event JSON for Perfetto."
         ),
     )
     parser.add_argument("path", help="JSONL trace file")
+    parser.add_argument(
+        "--format", choices=("summary", "chrome"), default="summary",
+        help=(
+            "'summary' prints the plain-text digest (default); 'chrome' "
+            "converts packet sojourns / marks / drops / control-law "
+            "series to Chrome trace-event JSON that overlays with "
+            "`run --spans-chrome` output in one Perfetto view"
+        ),
+    )
+    parser.add_argument(
+        "--out", metavar="PATH", default=None,
+        help="output file for --format chrome (default: <path>.chrome.json)",
+    )
+    return parser
+
+
+def build_timeline_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro timeline",
+        description=(
+            "Inspect a flight-recorder JSONL export (written by "
+            "`run --spans` / `sweep --spans` / `bench --spans`): prints "
+            "the per-span-type digest and, for parallel runs, the "
+            "round-phase stall-attribution table; optionally exports "
+            "Chrome trace-event JSON for https://ui.perfetto.dev."
+        ),
+    )
+    parser.add_argument("path", help="span JSONL file")
+    parser.add_argument(
+        "--chrome", metavar="PATH", default=None,
+        help="also write the timeline as Chrome trace-event JSON",
+    )
+    return parser
+
+
+def build_report_parser() -> argparse.ArgumentParser:
+    parser = build_parser()
+    parser.prog = "python -m repro report"
+    parser.description = (
+        "Run one experiment with the flight recorder on and render a "
+        "self-contained run report (config, profile, FCT, stall "
+        "attribution, hottest ports, timeline digest)."
+    )
+    parser.add_argument(
+        "--out", metavar="PATH", default=None,
+        help="report output file (default: stdout)",
+    )
+    parser.add_argument(
+        "--format", choices=("md", "html"), default=None,
+        help=(
+            "report format (default: inferred from --out extension, "
+            "falling back to markdown)"
+        ),
+    )
+    parser.add_argument(
+        "--top-ports", type=int, default=8,
+        help="rows in the hottest-ports table (default 8)",
+    )
     return parser
 
 
@@ -163,6 +266,14 @@ def build_sweep_parser() -> argparse.ArgumentParser:
             "event-queue backend for every grid point (default auto: "
             "picked per config from its workload shape; results are "
             "identical across backends)"
+        ),
+    )
+    parser.add_argument(
+        "--spans", metavar="PATH", default=None,
+        help=(
+            "record the sweep pool's job-lifecycle spans (dispatch -> "
+            "completion, cache hits, worker identity, crash/timeout "
+            "status) and write them as JSONL to PATH"
         ),
     )
     return parser
@@ -235,13 +346,18 @@ def sweep_main(argv=None) -> int:
             f"| {rate}, {live['hits']}/{done} cached"
         )
 
+    spans = SpanRecorder(pid="sweep") if args.spans else None
     outcome = run_sweep(
         configs,
         processes=args.processes,
         timeout_s=args.timeout,
         cache=cache,
         progress=progress,
+        spans=spans,
     )
+    if spans is not None:
+        n = spans.export_jsonl(args.spans)
+        print(f"wrote {n} sweep spans to {args.spans}")
     rows = {_sweep_label(r): r for r in outcome if r.ok}
     if rows:
         print()
@@ -271,6 +387,19 @@ def sweep_main(argv=None) -> int:
 
 def trace_main(argv=None) -> int:
     args = build_trace_parser().parse_args(argv)
+    if args.format == "chrome":
+        out = args.out or args.path + ".chrome.json"
+        try:
+            events = load_spans_jsonl(args.path)  # generic JSONL reader
+        except OSError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        n = write_chrome_doc(trace_events_to_chrome(events), out)
+        print(
+            f"wrote {n} Chrome trace events to {out} "
+            f"(open at https://ui.perfetto.dev)"
+        )
+        return 0
     try:
         summary = summarize_trace_file(args.path)
     except OSError as exc:
@@ -280,27 +409,65 @@ def trace_main(argv=None) -> int:
     return 0
 
 
-def main(argv=None) -> int:
-    if argv is None:
-        argv = sys.argv[1:]
-    if argv and argv[0] == "sweep":
-        return sweep_main(argv[1:])
-    if argv and argv[0] == "trace":
-        return trace_main(argv[1:])
-    if argv and argv[0] == "bench":
-        from repro.bench.cli import main as bench_main
+def timeline_main(argv=None) -> int:
+    args = build_timeline_parser().parse_args(argv)
+    try:
+        spans = load_spans_jsonl(args.path)
+    except OSError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(format_span_summary(spans))
+    phase_stats = stall_table(spans)
+    if phase_stats is not None:
+        print()
+        print(format_stall_table(phase_stats))
+    if args.chrome is not None:
+        n = write_chrome(spans, args.chrome)
+        print(
+            f"\nwrote {n} timeline slices to {args.chrome} "
+            f"(open at https://ui.perfetto.dev)"
+        )
+    return 0
 
-        return bench_main(argv[1:])
-    if argv and argv[0] == "lint":
-        from repro.analysis.cli import main as lint_main
 
-        return lint_main(argv[1:])
-    if argv and argv[0] == "run":
-        # explicit subcommand form; bare flags still mean "run" for
-        # backward compatibility
-        argv = argv[1:]
-    args = build_parser().parse_args(argv)
-    cfg = ExperimentConfig(
+def report_main(argv=None) -> int:
+    from repro.harness.runreport import render_run_report
+
+    args = build_report_parser().parse_args(argv)
+    fmt = args.format
+    if fmt is None:
+        fmt = (
+            "html"
+            if args.out is not None
+            and args.out.lower().endswith((".html", ".htm"))
+            else "md"
+        )
+    cfg = _config_from_args(args)
+    spans = SpanRecorder(capacity=args.span_limit, pid="run")
+    tracer = Tracer(capacity=args.trace_limit) if args.trace else None
+    result = run_experiment(cfg, tracer=tracer, spans=spans)
+    if tracer is not None:
+        tracer.export_jsonl(args.trace)
+    if args.spans is not None:
+        spans.export_jsonl(args.spans)
+    if args.spans_chrome is not None:
+        spans.export_chrome(args.spans_chrome)
+    document = render_run_report(
+        result, spans=spans, top_ports=args.top_ports, fmt=fmt
+    )
+    if args.out is None:
+        print(document)
+    else:
+        with open(args.out, "w") as fh:
+            fh.write(document)
+            if not document.endswith("\n"):
+                fh.write("\n")
+        print(f"wrote {fmt} run report to {args.out}")
+    return 0 if result.all_completed else 1
+
+
+def _config_from_args(args: argparse.Namespace) -> ExperimentConfig:
+    return ExperimentConfig(
         scheme=args.scheme,
         scheduler=args.scheduler,
         transport=args.transport,
@@ -315,8 +482,40 @@ def main(argv=None) -> int:
         equeue=args.equeue,
         workers=args.workers,
     )
+
+
+def main(argv=None) -> int:
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv and argv[0] == "sweep":
+        return sweep_main(argv[1:])
+    if argv and argv[0] == "trace":
+        return trace_main(argv[1:])
+    if argv and argv[0] == "timeline":
+        return timeline_main(argv[1:])
+    if argv and argv[0] == "report":
+        return report_main(argv[1:])
+    if argv and argv[0] == "bench":
+        from repro.bench.cli import main as bench_main
+
+        return bench_main(argv[1:])
+    if argv and argv[0] == "lint":
+        from repro.analysis.cli import main as lint_main
+
+        return lint_main(argv[1:])
+    if argv and argv[0] == "run":
+        # explicit subcommand form; bare flags still mean "run" for
+        # backward compatibility
+        argv = argv[1:]
+    args = build_parser().parse_args(argv)
+    cfg = _config_from_args(args)
     tracer = Tracer(capacity=args.trace_limit) if args.trace else None
-    result = run_experiment(cfg, tracer=tracer)
+    spans = (
+        SpanRecorder(capacity=args.span_limit, pid="run")
+        if (args.spans or args.spans_chrome)
+        else None
+    )
+    result = run_experiment(cfg, tracer=tracer, spans=spans)
     print(format_fct_rows({args.scheme: result}))
     print(
         f"\ncompleted {result.completed}/{result.total} flows in "
@@ -348,6 +547,25 @@ def main(argv=None) -> int:
         print(f"\nwrote {n} trace events to {args.trace}{evicted}")
         print()
         print(format_trace_summary(summarize_events(tracer.iter_dicts())))
+    if spans is not None:
+        evicted = (
+            f" ({spans.dropped_spans} older spans evicted)"
+            if spans.dropped_spans
+            else ""
+        )
+        if args.spans:
+            n = spans.export_jsonl(args.spans)
+            print(f"\nwrote {n} spans to {args.spans}{evicted}")
+        if args.spans_chrome:
+            n = spans.export_chrome(args.spans_chrome)
+            print(
+                f"\nwrote {n} timeline slices to {args.spans_chrome} "
+                f"(open at https://ui.perfetto.dev){evicted}"
+            )
+        phase_stats = result.profile.get("phase_stats")
+        if isinstance(phase_stats, dict):
+            print()
+            print(format_stall_table(phase_stats))
     return 0 if result.all_completed else 1
 
 

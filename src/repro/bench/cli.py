@@ -20,8 +20,11 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 from typing import Dict, Optional
+
+from repro.obs.spans import SpanRecorder
 
 from repro.bench.runner import (
     DEFAULT_THRESHOLD,
@@ -80,6 +83,20 @@ def build_parser() -> argparse.ArgumentParser:
         default=".",
         metavar="DIR",
         help="directory for BENCH_*.json files (default: cwd)",
+    )
+    parser.add_argument(
+        "--spans",
+        metavar="DIR",
+        default=None,
+        help=(
+            "record the flight recorder during each scenario and write "
+            "the kept repetition's timeline there as "
+            "SPANS_<scenario>.jsonl + TRACE_<scenario>.json "
+            "(Perfetto-loadable); also folds the stall-attribution "
+            "table into BENCH_<scenario>.json.  Recording costs a "
+            "little wall time, so do not gate (--compare) against "
+            "spans-off baselines"
+        ),
     )
     parser.add_argument(
         "--compare",
@@ -155,12 +172,24 @@ def main(argv=None) -> int:
     names = args.scenario or sorted(SCENARIOS)
     results = []
     for name in names:
+        spans = SpanRecorder(pid="run") if args.spans is not None else None
         result = run_scenario(
-            name, repeat=args.repeat, equeue=args.equeue, workers=args.workers
+            name,
+            repeat=args.repeat,
+            equeue=args.equeue,
+            workers=args.workers,
+            spans=spans,
         )
         results.append(result)
         path = write_result(result, args.out)
         print(f"{result.describe()} -> {path}")
+        if spans is not None and len(spans.spans):
+            os.makedirs(args.spans, exist_ok=True)
+            jsonl = os.path.join(args.spans, f"SPANS_{name}.jsonl")
+            trace = os.path.join(args.spans, f"TRACE_{name}.json")
+            spans.export_jsonl(jsonl)
+            spans.export_chrome(trace)
+            print(f"  spans -> {jsonl}, {trace}")
     if baseline is None:
         return 0
     comparisons = compare_results(
@@ -187,6 +216,10 @@ def main(argv=None) -> int:
                     "ratio": round(c.ratio, 4),
                     "regressed": c.regressed,
                     "fingerprint_changed": c.fingerprint_changed,
+                    "workers": c.workers,
+                    "rounds": c.rounds,
+                    "sync_stall_s": round(c.sync_stall_s, 6),
+                    "start_method": c.start_method,
                 }
                 for c in comparisons
             ],

@@ -21,6 +21,7 @@ from typing import Dict, Iterable, List, Mapping, Optional, Union
 
 from repro.bench.scenarios import SCENARIOS
 from repro.net.packet import freelist_stats, reset_freelist
+from repro.obs.spans import SpanRecorder
 
 SCHEMA_VERSION = 1
 
@@ -56,6 +57,15 @@ class BenchResult:
     workers: int = 0
     #: CPUs the host exposed — context for judging parallel numbers
     cpu_count: int = 0
+    #: barrier rounds the partitioned run synchronised through (0 = serial)
+    rounds: int = 0
+    #: coordinator wall time spent blocked on worker round reports
+    sync_stall_s: float = 0.0
+    #: multiprocessing start method of the partitioned run ("" = serial)
+    start_method: str = ""
+    #: per-phase stall attribution (stall_table output) when the scenario
+    #: ran with span recording — empty otherwise
+    phase_stats: Dict[str, object] = field(default_factory=dict)
 
     def as_dict(self) -> Dict[str, object]:
         return {
@@ -75,6 +85,10 @@ class BenchResult:
             "equeue_stats": self.equeue_stats,
             "workers": self.workers,
             "cpu_count": self.cpu_count,
+            "rounds": self.rounds,
+            "sync_stall_s": round(self.sync_stall_s, 6),
+            "start_method": self.start_method,
+            "phase_stats": self.phase_stats,
         }
 
     @classmethod
@@ -96,6 +110,10 @@ class BenchResult:
             equeue_stats=dict(data.get("equeue_stats", {})),  # type: ignore[arg-type]
             workers=int(data.get("workers", 0)),  # type: ignore[arg-type]
             cpu_count=int(data.get("cpu_count", 0)),  # type: ignore[arg-type]
+            rounds=int(data.get("rounds", 0)),  # type: ignore[arg-type]
+            sync_stall_s=float(data.get("sync_stall_s", 0.0)),  # type: ignore[arg-type]
+            start_method=str(data.get("start_method", "")),
+            phase_stats=dict(data.get("phase_stats", {})),  # type: ignore[arg-type]
         )
 
     def describe(self) -> str:
@@ -106,11 +124,16 @@ class BenchResult:
             pct = 100.0 * alloc["packets_reused"] / total if total else 0.0
             reuse = f", {pct:.0f}% pkt reuse"
         backend = f", equeue {self.equeue}" if self.equeue != "heap" else ""
-        par = (
-            f", {self.workers} workers on {self.cpu_count} cpus"
-            if self.workers
-            else ""
-        )
+        par = ""
+        if self.workers:
+            par = f", {self.workers} workers on {self.cpu_count} cpus"
+            if self.start_method:
+                par += f" via {self.start_method}"
+            if self.rounds:
+                par += (
+                    f", {self.rounds} rounds, "
+                    f"{self.sync_stall_s:.2f}s sync stall"
+                )
         return (
             f"{self.scenario}: {self.events_per_sec / 1e3:.0f}k ev/s "
             f"({self.events} events, {self.wall_s:.2f}s wall, "
@@ -119,7 +142,11 @@ class BenchResult:
 
 
 def run_scenario(
-    name: str, repeat: int = 1, equeue: str = "heap", workers: int = 0
+    name: str,
+    repeat: int = 1,
+    equeue: str = "heap",
+    workers: int = 0,
+    spans: Optional["SpanRecorder"] = None,
 ) -> BenchResult:
     """Run one pinned scenario ``repeat`` times; keep the fastest.
 
@@ -129,14 +156,28 @@ def run_scenario(
     come out identical regardless, which the cross-repetition assertion
     below extends to the cross-backend and serial-vs-partitioned
     comparisons made by the CLI and CI.
+
+    ``spans`` turns the flight recorder on for every repetition: the
+    kept (fastest) repetition's spans land in the recorder and its
+    stall-attribution table in ``BenchResult.phase_stats``.  Recording
+    costs a little wall time per chunk/round boundary, so spans-on
+    numbers are not comparable with spans-off baselines — keep the flag
+    off for regression gating.
     """
     scenario = SCENARIOS[name]
+    spans_on = spans is not None and spans.enabled
     best_profile: Optional[Dict[str, object]] = None
+    best_spans: Optional["SpanRecorder"] = None
     fingerprint: Optional[Mapping[str, Number]] = None
     allocations: Dict[str, int] = {}
     for _ in range(max(1, repeat)):
         reset_freelist()
-        profile, run_fingerprint = scenario.run(equeue=equeue, workers=workers)
+        rep_spans: Optional["SpanRecorder"] = None
+        if spans_on and spans is not None:
+            rep_spans = SpanRecorder(capacity=spans.capacity, pid=spans.pid)
+        profile, run_fingerprint = scenario.run(
+            equeue=equeue, workers=workers, spans=rep_spans
+        )
         allocated, reused, _free = freelist_stats()
         if fingerprint is not None and dict(run_fingerprint) != dict(
             fingerprint
@@ -151,11 +192,15 @@ def run_scenario(
             or profile["events_per_sec"] > best_profile["events_per_sec"]
         ):
             best_profile = profile
+            best_spans = rep_spans
             allocations = {
                 "packets_allocated": allocated,
                 "packets_reused": reused,
             }
     assert best_profile is not None and fingerprint is not None
+    if spans is not None and best_spans is not None:
+        spans.clear()
+        spans.adopt(best_spans.spans, best_spans.dropped_spans)
     return BenchResult(
         scenario=name,
         events=int(best_profile["events"]),  # type: ignore[call-overload]
@@ -172,6 +217,10 @@ def run_scenario(
         equeue_stats=dict(best_profile.get("equeue_stats", {})),  # type: ignore[arg-type,call-overload]
         workers=int(best_profile.get("workers", 0)),  # type: ignore[call-overload]
         cpu_count=int(best_profile.get("cpu_count", os.cpu_count() or 1)),  # type: ignore[call-overload]
+        rounds=int(best_profile.get("rounds", 0)),  # type: ignore[call-overload]
+        sync_stall_s=float(best_profile.get("sync_stall_s", 0.0)),  # type: ignore[arg-type]
+        start_method=str(best_profile.get("start_method", "")),
+        phase_stats=dict(best_profile.get("phase_stats", {})),  # type: ignore[call-overload]
     )
 
 
@@ -216,14 +265,28 @@ class Comparison:
     ratio: float  # new / baseline
     regressed: bool
     fingerprint_changed: bool
+    #: parallel context of the *new* run (zero/empty when serial) — a
+    #: parallel regression is diagnosed through rounds and sync stall,
+    #: not throughput alone
+    workers: int = 0
+    rounds: int = 0
+    sync_stall_s: float = 0.0
+    start_method: str = ""
 
     def describe(self) -> str:
         verdict = "REGRESSED" if self.regressed else "ok"
         note = " [fingerprint changed]" if self.fingerprint_changed else ""
+        par = ""
+        if self.workers:
+            par = (
+                f" [{self.workers}w/{self.start_method or '?'}: "
+                f"{self.rounds} rounds, "
+                f"{self.sync_stall_s:.2f}s sync stall]"
+            )
         return (
             f"{self.scenario}: {self.baseline_eps / 1e3:.0f}k -> "
             f"{self.new_eps / 1e3:.0f}k ev/s ({self.ratio:.2f}x) "
-            f"{verdict}{note}"
+            f"{verdict}{par}{note}"
         )
 
 
@@ -258,6 +321,10 @@ def compare_results(
                 regressed=ratio < 1.0 - threshold,
                 fingerprint_changed=bool(base.fingerprint)
                 and base.fingerprint != result.fingerprint,
+                workers=result.workers,
+                rounds=result.rounds,
+                sync_stall_s=result.sync_stall_s,
+                start_method=result.start_method,
             )
         )
     return comparisons

@@ -1,8 +1,8 @@
 """The pinned scenarios: what each one stresses, and how it runs.
 
 A scenario is a name, a one-line description, and a ``run()`` (taking
-only an optional ``equeue`` backend-name keyword) returning
-``(profile, fingerprint)``:
+optional ``equeue`` backend-name, ``workers`` count, and ``spans``
+recorder keywords) returning ``(profile, fingerprint)``:
 
 * ``profile`` — the :class:`~repro.obs.profile.RunProfile` dict for the
   run (events, heap_hwm, wall_s, events_per_sec, rss_hwm_bytes);
@@ -18,11 +18,12 @@ from __future__ import annotations
 
 import time
 from collections import deque
-from typing import Callable, Dict, Mapping, NamedTuple, Tuple, Union
+from typing import Callable, Dict, Mapping, NamedTuple, Optional, Tuple, Union
 
 from repro.harness.config import ExperimentConfig
 from repro.harness.runner import run_experiment
 from repro.obs.profile import RunProfile
+from repro.obs.spans import SpanRecorder
 from repro.sim.engine import Simulator
 
 Fingerprint = Mapping[str, Union[int, float]]
@@ -37,7 +38,9 @@ class Scenario(NamedTuple):
 
 
 def _engine_churn(
-    equeue: str = "heap", workers: int = 0
+    equeue: str = "heap",
+    workers: int = 0,
+    spans: Optional[SpanRecorder] = None,
 ) -> Tuple[Profile, Fingerprint]:
     """Pure engine stress: a rotating timer set under constant churn.
 
@@ -48,7 +51,12 @@ def _engine_churn(
     the heap carries a steady tombstone population that the pop loop
     drains lazily — this exercises schedule, cancel, the tombstone
     drain, and tie-ordered dispatch, with zero network objects.
+
+    ``spans`` is accepted for interface uniformity and ignored: the
+    scenario drives the ``Simulator`` directly, without the chunked
+    harness loop the serial span instrumentation hangs off.
     """
+    del spans
     if workers:
         raise ValueError(
             "engine_churn has no fabric to partition (workers must be 0)"
@@ -91,10 +99,13 @@ def _engine_churn(
 
 def _experiment(**overrides) -> RunFn:
     def run(
-        equeue: str = "heap", workers: int = 0
+        equeue: str = "heap",
+        workers: int = 0,
+        spans: Optional[SpanRecorder] = None,
     ) -> Tuple[Profile, Fingerprint]:
         result = run_experiment(
-            ExperimentConfig(equeue=equeue, workers=workers, **overrides)
+            ExperimentConfig(equeue=equeue, workers=workers, **overrides),
+            spans=spans,
         )
         fingerprint = {
             "completed": result.completed,

@@ -22,7 +22,14 @@ from typing import Dict, List, Optional
 from repro.harness.config import ExperimentConfig
 from repro.harness.schemes import SCHEDULERS, SCHEMES, TRANSPORTS
 from repro.metrics.fct import FctCollector, FctSummary
-from repro.obs import MetricsRegistry, RunProfile, Tracer
+from repro.obs import (
+    MetricsRegistry,
+    RssSampler,
+    RunProfile,
+    SpanRecorder,
+    Tracer,
+)
+from repro.obs.spans import wall_ns
 from repro.pias.tagger import PiasTagger
 from repro.sim.engine import Simulator
 from repro.sim.rng import RngFactory
@@ -70,7 +77,9 @@ class ExperimentResult:
 
 
 def run_experiment(
-    cfg: ExperimentConfig, tracer: Optional[Tracer] = None
+    cfg: ExperimentConfig,
+    tracer: Optional[Tracer] = None,
+    spans: Optional[SpanRecorder] = None,
 ) -> ExperimentResult:
     """Run one configured experiment to completion.
 
@@ -80,6 +89,13 @@ def run_experiment(
     so a traced run produces the same :class:`ExperimentResult` as an
     untraced one — modulo the trace-derived sojourn histogram in
     ``metrics`` — which ``tests/test_trace_determinism.py`` asserts.
+
+    Pass a :class:`repro.obs.SpanRecorder` to additionally record the
+    harness-side flight recorder: one span per ``Simulator.run`` chunk
+    here (the GC-paused window, with event-queue and freelist deltas),
+    and the full round-phase decomposition when the run is partitioned.
+    Spans are pure observation too — ``tests/test_spans.py`` pins a
+    spans-on run to the spans-off golden results.
     """
     cfg.validate()
     if cfg.workers:
@@ -87,7 +103,7 @@ def run_experiment(
         # Imported lazily: cluster.py imports this module's builders back.
         from repro.sim.parallel.cluster import run_parallel_experiment
 
-        return run_parallel_experiment(cfg, tracer)
+        return run_parallel_experiment(cfg, tracer, spans)
     sim = Simulator(equeue=cfg.resolved_equeue)
     rng = RngFactory(cfg.seed)
     topo = _build_topology(sim, cfg)
@@ -109,8 +125,51 @@ def run_experiment(
     wall_start = time.time()
     deadline = _deadline_ns(cfg, flows)
     events = 0
+    rss = RssSampler()
+    spans_on = spans is not None and spans.enabled
+    chunk_idx = 0
+    prev_eq: Dict[str, int] = sim.equeue_stats() if spans_on else {}
+    prev_alloc = prev_reuse = 0
+    if spans_on:
+        from repro.net.packet import freelist_stats
+
+        prev_alloc, prev_reuse, _free = freelist_stats()
     while collector.count < len(flows) and sim.now < deadline:
-        events += sim.run(until=min(sim.now + _RUN_CHUNK_NS, deadline))
+        sim_from = sim.now
+        t0 = wall_ns() if spans_on else 0
+        executed = sim.run(until=min(sim.now + _RUN_CHUNK_NS, deadline))
+        events += executed
+        # chunk boundary: the only in-run RSS observation point — the
+        # sampler is strided and never sits on the event hot path
+        rss.sample()
+        if spans_on:
+            dur = wall_ns() - t0
+            assert spans is not None
+            args: Dict[str, object] = {
+                "chunk": chunk_idx,
+                "sim_from_ns": sim_from,
+                "sim_to_ns": sim.now,
+                "events": executed,
+                # Simulator.run disables GC for the whole chunk, so this
+                # span is also the GC-pause window
+                "gc_paused": True,
+            }
+            eq = sim.equeue_stats()
+            for key, value in eq.items():
+                delta = value - prev_eq.get(key, 0)
+                if delta:
+                    args[f"equeue.{key}"] = delta
+            prev_eq = eq
+            alloc, reuse, _free = freelist_stats()
+            if alloc - prev_alloc:
+                args["freelist_allocated"] = alloc - prev_alloc
+            if reuse - prev_reuse:
+                args["freelist_reused"] = reuse - prev_reuse
+            prev_alloc, prev_reuse = alloc, reuse
+            if rss.last_bytes:
+                args["rss_bytes"] = rss.last_bytes
+            spans.add("engine", "chunk", t0, dur, tid="sim", args=args)
+        chunk_idx += 1
         if sim.idle:
             # The event heap is drained: with no timer or transfer pending,
             # no flow can ever complete, so chunking on toward the deadline
@@ -139,7 +198,9 @@ def run_experiment(
         events=events,
         flows=flows,
         metrics=registry.snapshot(),
-        profile=RunProfile.capture(sim, wall_s).as_dict(),
+        profile=RunProfile.capture(
+            sim, wall_s, rss_floor=rss.hwm_bytes
+        ).as_dict(),
     )
 
 

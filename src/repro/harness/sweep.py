@@ -52,6 +52,7 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.harness.config import ExperimentConfig
 from repro.metrics.fct import FctSummary
+from repro.obs.spans import SpanRecorder, wall_ns
 
 ProgressFn = Callable[[int, int, "SweepResult"], None]
 
@@ -418,11 +419,17 @@ def _resolve_processes(
     return 0, None
 
 
+DispatchFn = Callable[[int, int], None]
+
+
 def _run_serial(
     configs: Sequence[Tuple[int, ExperimentConfig]],
     on_result: Callable[[int, SweepResult], None],
+    on_dispatch: Optional[DispatchFn] = None,
 ) -> None:
     for idx, cfg in configs:
+        if on_dispatch is not None:
+            on_dispatch(idx, os.getpid())
         start = time.monotonic()
         try:
             payload, wall_s = _execute_config(cfg)
@@ -443,6 +450,7 @@ def _run_parallel(
     timeout_s: Optional[float],
     on_result: Callable[[int, SweepResult], None],
     start_method: str = "fork",
+    on_dispatch: Optional[DispatchFn] = None,
 ) -> None:
     ctx = multiprocessing.get_context(start_method)
     queue = list(configs)[::-1]          # pop() takes them in input order
@@ -500,6 +508,8 @@ def _run_parallel(
                 started = time.monotonic()
                 proc.start()
                 child_conn.close()
+                if on_dispatch is not None:
+                    on_dispatch(idx, proc.pid or 0)
                 running[parent_conn] = (idx, cfg, proc, started)
 
             # Sleep until a worker reports (or dies: EOF also wakes us),
@@ -535,6 +545,7 @@ def run_sweep(
     timeout_s: Optional[float] = None,
     cache: Optional[ResultCache] = None,
     progress: Optional[ProgressFn] = None,
+    spans: Optional[SpanRecorder] = None,
 ) -> SweepOutcome:
     """Run a grid of experiments, in parallel and through the cache.
 
@@ -560,6 +571,14 @@ def run_sweep(
         ``progress(done, total, result)`` called after every cell, cache
         hits included (from the coordinating process, in completion
         order).
+    spans:
+        A :class:`SpanRecorder`; when enabled, each cell lands as one
+        ``sweep/job`` span (t0 at dispatch, duration to completion; a
+        cache hit is a zero-duration span) carrying its status
+        (``cached`` / ``ok`` / ``exception`` / ``timeout`` / ``crash``)
+        and worker identity.  Job spans adopt in config order at the end
+        of the sweep, so the export order never depends on which worker
+        finished first.
     """
     configs = list(configs)
     for cfg in configs:
@@ -569,6 +588,16 @@ def run_sweep(
     results: List[Optional[SweepResult]] = [None] * len(configs)
     sweep_start = time.monotonic()
     done = {"n": 0}
+
+    spans_on = spans is not None and spans.enabled
+    sweep_t0 = wall_ns() if spans_on else 0
+    #: idx -> (dispatch wall_ns, worker pid); cache hits never appear
+    dispatched: Dict[int, Tuple[int, int]] = {}
+    #: idx -> finished job span (t0, dur, args) awaiting ordered adoption
+    job_spans: Dict[int, Tuple[int, int, dict]] = {}
+
+    def on_dispatch(idx: int, worker_pid: int) -> None:
+        dispatched[idx] = (wall_ns(), worker_pid)
 
     def finish(idx: int, result: SweepResult) -> None:
         results[idx] = result
@@ -581,6 +610,24 @@ def run_sweep(
                 stats.run_wall_s += result.wall_s
                 if cache is not None:
                     cache.put(result.config, result.payload(), result.wall_s)
+        if spans_on:
+            now = wall_ns()
+            t0, worker_pid = dispatched.pop(idx, (now, 0))
+            if result.error is not None:
+                status = result.error.kind
+            elif result.from_cache:
+                status = "cached"
+            else:
+                status = "ok"
+            args = {
+                "idx": idx,
+                "status": status,
+                "from_cache": result.from_cache,
+                "events": result.events,
+                "queued_ns": max(0, t0 - sweep_t0),
+                "worker_pid": worker_pid,
+            }
+            job_spans[idx] = (t0, now - t0, args)
         if progress is not None:
             progress(done["n"], len(configs), result)
 
@@ -614,12 +661,28 @@ def run_sweep(
                 "method available on this platform — running "
                 f"{len(to_run)} configs serially\n"
             )
-        _run_serial(to_run, finish)
+        _run_serial(to_run, finish, on_dispatch if spans_on else None)
     else:
         _run_parallel(
-            to_run, n_workers, timeout_s, finish, start_method=start_method
+            to_run, n_workers, timeout_s, finish, start_method=start_method,
+            on_dispatch=on_dispatch if spans_on else None,
         )
 
     stats.wall_s = time.monotonic() - sweep_start
+    if spans_on and spans is not None:
+        for idx in sorted(job_spans):
+            t0, dur, args = job_spans[idx]
+            spans.add("sweep", "job", t0, dur, tid=f"job{idx}", args=args)
+        spans.add(
+            "sweep", "sweep", sweep_t0, wall_ns() - sweep_t0, tid="sweep",
+            args={
+                "configs": stats.total,
+                "cache_hits": stats.cache_hits,
+                "cache_misses": stats.cache_misses,
+                "errors": stats.errors,
+                "workers": n_workers,
+                "start_method": start_method or "serial",
+            },
+        )
     assert all(r is not None for r in results)
     return SweepOutcome(results=results, stats=stats)

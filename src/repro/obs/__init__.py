@@ -8,7 +8,13 @@ Zero-overhead-when-off instrumentation for the whole pipeline:
 * :class:`MetricsRegistry` — counters, gauges, log-bucketed histograms
   that components register into and the harness snapshots into results.
 * :class:`RunProfile` — events processed, events/sec, heap and RSS
-  high-water marks per run.
+  high-water marks per run (with :class:`RssSampler` feeding in-run
+  RSS high-water samples at chunk/round boundaries).
+* :class:`SpanRecorder` — the flight recorder: wall-clock span
+  timelines of the serial run loop, the parallel round protocol, and
+  the sweep pool, exported as Chrome trace-event JSON (Perfetto) or
+  deterministic JSONL, with :func:`stall_table` attributing parallel
+  wall time to compute/serialize/ipc_wait/merge phases.
 * :func:`summarize_events` / :func:`summarize_trace_file` /
   :func:`format_trace_summary` — the analysis behind
   ``python -m repro trace``.
@@ -23,7 +29,18 @@ from repro.obs.trace import (
     Tracer,
 )
 from repro.obs.registry import Counter, Gauge, Histogram, MetricsRegistry
-from repro.obs.profile import RunProfile
+from repro.obs.profile import RssSampler, RunProfile, current_rss_bytes
+from repro.obs.spans import (
+    DEFAULT_SPAN_CAPACITY,
+    ROUND_PHASES,
+    SpanRecorder,
+    chrome_trace,
+    format_span_summary,
+    load_spans_jsonl,
+    stall_table,
+    trace_events_to_chrome,
+    write_chrome,
+)
 from repro.obs.summary import (
     QueueSummary,
     TraceSummary,
@@ -42,6 +59,17 @@ __all__ = [
     "Histogram",
     "MetricsRegistry",
     "RunProfile",
+    "RssSampler",
+    "current_rss_bytes",
+    "SpanRecorder",
+    "DEFAULT_SPAN_CAPACITY",
+    "ROUND_PHASES",
+    "chrome_trace",
+    "write_chrome",
+    "trace_events_to_chrome",
+    "stall_table",
+    "format_span_summary",
+    "load_spans_jsonl",
     "QueueSummary",
     "TraceSummary",
     "summarize_events",

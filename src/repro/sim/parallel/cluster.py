@@ -53,8 +53,9 @@ from repro.harness.schemes import TRANSPORTS
 from repro.metrics.fct import FctCollector
 from repro.net.boundary import BoundaryMux, import_packet
 from repro.net.link import Link
-from repro.obs import MetricsRegistry, Tracer
+from repro.obs import MetricsRegistry, RssSampler, SpanRecorder, Tracer
 from repro.obs.profile import _rss_high_water
+from repro.obs.spans import round_merge_key, stall_table, wall_ns
 from repro.sim.parallel.partition import Handoff, PartitionSimulator
 from repro.sim.parallel.protocol import INF, ChunkSync, min_handoff_latency_ns
 from repro.sim.rng import RngFactory
@@ -130,10 +131,20 @@ def _wire_partition_endpoints(
 
 
 class _Partition:
-    """One leaf pod's sub-simulator plus its result-collection state."""
+    """One leaf pod's sub-simulator plus its result-collection state.
+
+    With ``spans_on`` the partition carries its own
+    :class:`SpanRecorder` (pid label ``p<N>``) and stamps the round's
+    merge / compute / serialize phases; its hosting worker adds the
+    ``ipc_wait`` phase.  The recorder ships home with :meth:`final`.
+    """
 
     def __init__(
-        self, cfg: ExperimentConfig, pid: int, trace_capacity: Optional[int]
+        self,
+        cfg: ExperimentConfig,
+        pid: int,
+        trace_capacity: Optional[int],
+        spans_on: bool = False,
     ) -> None:
         self.pid = pid
         sim = PartitionSimulator(pid)
@@ -169,6 +180,11 @@ class _Partition:
                 sender.tracer = tracer
             self.tracer = tracer
         self.busy_s = 0.0
+        self.spans: Optional[SpanRecorder] = (
+            SpanRecorder(pid=f"p{pid}") if spans_on else None
+        )
+        self.rss = RssSampler()
+        self._round = 0
 
     def initial_report(self) -> Report:
         peek = self.sim.peek_time()
@@ -176,18 +192,51 @@ class _Partition:
 
     def apply_and_run(self, horizon: int, handoffs: Sequence[Handoff]) -> Report:
         sim = self.sim
+        spans = self.spans
+        rnd = self._round
+        self._round = rnd + 1
         spine_rx = self._spine_rx
+        t_merge = wall_ns() if spans is not None else 0
         for rx, aseq, spine_id, fields in handoffs:
             sim.insert_arrival(rx, aseq, spine_rx[spine_id], import_packet(fields))
+        if spans is not None:
+            spans.add(
+                "round", "merge", t_merge, wall_ns() - t_merge,
+                tid="phases",
+                args={"round": rnd, "handoffs": len(handoffs)},
+            )
+        t_compute = wall_ns() if spans is not None else 0
         # simlint: disable=SIM001 -- busy_s measures host runtime for the profile; it never feeds the simulation
         t0 = time.perf_counter()
         executed = sim.run(until=horizon)
         # simlint: disable=SIM001 -- closes the host-runtime measurement opened above; not simulation state
         self.busy_s += time.perf_counter() - t0
+        if spans is not None:
+            spans.add(
+                "round", "compute", t_compute, wall_ns() - t_compute,
+                tid="phases",
+                args={
+                    "round": rnd,
+                    "horizon_ns": horizon,
+                    "executed": executed,
+                },
+            )
+        t_serialize = wall_ns() if spans is not None else 0
         peek = sim.peek_time()
+        outbox = sim.drain_outbox()
+        # round boundary: the only in-run RSS observation point in this
+        # (possibly child) process — how short-lived worker peaks reach
+        # the merged profile's rss_hwm_bytes
+        self.rss.sample()
+        if spans is not None:
+            spans.add(
+                "round", "serialize", t_serialize, wall_ns() - t_serialize,
+                tid="phases",
+                args={"round": rnd, "handoffs_out": len(outbox)},
+            )
         return (
             INF if peek is None else peek,
-            sim.drain_outbox(),
+            outbox,
             self.collector.count,
             executed,
         )
@@ -213,11 +262,19 @@ class _Partition:
                 if tracer is not None
                 else None
             ),
+            "spans": (
+                (list(self.spans.spans), self.spans.dropped_spans)
+                if self.spans is not None
+                else None
+            ),
             "profile": {
                 "pid": self.pid,
                 "events": self.sim.events_executed,
                 "heap_hwm": self.sim.heap_hwm,
                 "busy_s": self.busy_s,
+                # this process's peak: getrusage at completion, floored
+                # by the in-run round-boundary samples
+                "rss_hwm_bytes": max(_rss_high_water(), self.rss.hwm_bytes),
             },
         }
 
@@ -226,12 +283,23 @@ class _Partition:
 
 
 class _InProcessWorkers:
-    """All partitions in this process — ``workers=1`` and the fallback."""
+    """All partitions in this process — ``workers=1`` and the fallback.
+
+    No pipes, so no ``ipc_wait`` spans: the in-process timeline shows
+    merge/compute/serialize only, which is the honest decomposition.
+    """
 
     def __init__(
-        self, cfg: ExperimentConfig, pids: List[int], trace_capacity: Optional[int]
+        self,
+        cfg: ExperimentConfig,
+        pids: List[int],
+        trace_capacity: Optional[int],
+        spans_on: bool = False,
     ) -> None:
-        self._parts = {pid: _Partition(cfg, pid, trace_capacity) for pid in pids}
+        self._parts = {
+            pid: _Partition(cfg, pid, trace_capacity, spans_on)
+            for pid in pids
+        }
         self.stall_s = 0.0
 
     def initial_reports(self) -> Dict[int, Report]:
@@ -257,20 +325,42 @@ def _worker_main(
     cfg: ExperimentConfig,
     pids: List[int],
     trace_capacity: Optional[int],
+    spans_on: bool = False,
 ) -> None:
     """Child-process loop: build partitions, then serve barrier rounds.
 
     Module-level (and fed only picklable arguments) so it bootstraps
     under every ``multiprocessing`` start method, including spawn.
     Replies are ``("ok", payload)`` or ``("error", traceback)``.
+
+    With ``spans_on``, the blocking ``conn.recv()`` before each round is
+    stamped as that round's ``ipc_wait`` phase onto every hosted
+    partition's recorder — the time this worker's partitions sat idle
+    at the barrier while the coordinator collected the other workers
+    and computed the next horizon.
     """
     try:
-        parts = {pid: _Partition(cfg, pid, trace_capacity) for pid in pids}
+        parts = {
+            pid: _Partition(cfg, pid, trace_capacity, spans_on)
+            for pid in pids
+        }
         conn.send(("ok", {pid: p.initial_report() for pid, p in parts.items()}))
+        rnd = 0
         while True:
+            t_wait = wall_ns() if spans_on else 0
             msg = conn.recv()
             op = msg[0]
             if op == "run":
+                if spans_on:
+                    waited = wall_ns() - t_wait
+                    for pid in pids:
+                        part_spans = parts[pid].spans
+                        assert part_spans is not None
+                        part_spans.add(
+                            "round", "ipc_wait", t_wait, waited,
+                            tid="phases", args={"round": rnd},
+                        )
+                rnd += 1
                 _, horizon, route = msg
                 conn.send((
                     "ok",
@@ -304,6 +394,7 @@ class _ProcessWorkers:
         trace_capacity: Optional[int],
         n_workers: int,
         start_method: str,
+        spans: Optional[SpanRecorder] = None,
     ) -> None:
         ctx = multiprocessing.get_context(start_method)
         #: round-robin partition placement — any placement yields the
@@ -313,11 +404,16 @@ class _ProcessWorkers:
         self._conns = []
         self._procs = []
         self.stall_s = 0.0
+        #: coordinator-side recorder: its ipc_wait spans decompose
+        #: sync_stall_s per barrier (initial reports, each round, finals)
+        self.spans = spans
+        self._recv_calls = 0
+        spans_on = spans is not None
         for worker_pids in self.pids_by_worker:
             parent_conn, child_conn = ctx.Pipe()
             proc = ctx.Process(
                 target=_worker_main,
-                args=(child_conn, cfg, worker_pids, trace_capacity),
+                args=(child_conn, cfg, worker_pids, trace_capacity, spans_on),
                 daemon=True,
             )
             proc.start()
@@ -326,6 +422,8 @@ class _ProcessWorkers:
             self._procs.append(proc)
 
     def _recv_all(self) -> Dict[int, Any]:
+        spans = self.spans
+        t_wait = wall_ns() if spans is not None else 0
         out: Dict[int, Any] = {}
         for conn in self._conns:
             # simlint: disable=SIM001 -- sync_stall_s measures coordinator blocking (host runtime); never simulation state
@@ -342,6 +440,14 @@ class _ProcessWorkers:
             if tag == "error":
                 raise RuntimeError(f"parallel worker failed:\n{payload}")
             out.update(payload)
+        if spans is not None:
+            barrier = self._recv_calls
+            self._recv_calls = barrier + 1
+            spans.add(
+                "round", "ipc_wait", t_wait, wall_ns() - t_wait,
+                tid="coord",
+                args={"barrier": barrier, "workers": len(self._conns)},
+            )
         return out
 
     def initial_reports(self) -> Dict[int, Report]:
@@ -416,7 +522,9 @@ def _digest_reports(
 
 
 def run_parallel_experiment(
-    cfg: ExperimentConfig, tracer: Optional[Tracer] = None
+    cfg: ExperimentConfig,
+    tracer: Optional[Tracer] = None,
+    spans: Optional[SpanRecorder] = None,
 ) -> ExperimentResult:
     """Run one experiment on the partitioned engine.
 
@@ -426,7 +534,17 @@ def run_parallel_experiment(
     the merged metrics/trace, the summed event count, and a profile dict
     that is a superset of ``RunProfile.as_dict()`` (extra keys:
     ``workers``, ``start_method``, ``partitions``, ``rounds``,
-    ``sync_stall_s``, ``cpu_count``, ``per_partition``).
+    ``sync_stall_s``, ``cpu_count``, ``per_partition``, and — when the
+    flight recorder is on — ``phase_stats``, the stall-attribution
+    table from :func:`repro.obs.spans.stall_table`).
+
+    With a :class:`SpanRecorder`, every partition stamps its round
+    phases (merge/compute/serialize, plus ipc_wait from its hosting
+    worker), the coordinator stamps per-round ``sync`` spans and its own
+    pipe waits, and the per-partition recorders are merged into ``spans``
+    in pid order after the coordinator's own spans — a deterministic
+    order, so the deterministic JSONL export is byte-identical across
+    same-seed runs at any worker count.
 
     Caveat vs. the serial runner: sender-side ``Flow`` mutations stay in
     the worker partitions — the parent's flow objects carry generator
@@ -453,6 +571,13 @@ def run_parallel_experiment(
 
     traced = tracer is not None and tracer.enabled
     trace_capacity: Optional[int] = tracer.capacity if traced else 0
+    spans_on = spans is not None and spans.enabled
+    coord_spans: Optional[SpanRecorder] = None
+    if spans_on:
+        assert spans is not None
+        # coordinator spans get their own pid track; merged into the
+        # caller's recorder (before the partitions) at the end
+        coord_spans = SpanRecorder(capacity=spans.capacity, pid="coord")
 
     pids = list(range(n_parts))
     start_method: Optional[str] = None
@@ -464,10 +589,11 @@ def run_parallel_experiment(
         # (results are identical either way; only wall time differs —
         # the profile records how the run was actually hosted)
         n_workers = 1
-        backend = _InProcessWorkers(cfg, pids, trace_capacity)
+        backend = _InProcessWorkers(cfg, pids, trace_capacity, spans_on)
     else:
         backend = _ProcessWorkers(
-            cfg, pids, trace_capacity, n_workers, start_method
+            cfg, pids, trace_capacity, n_workers, start_method,
+            spans=coord_spans,
         )
 
     rounds = 0
@@ -478,7 +604,21 @@ def run_parallel_experiment(
         while True:
             m_hat, _completed, route = _digest_reports(reports, hpl)
             horizon = sync.horizon(m_hat)
+            t_round = wall_ns() if coord_spans is not None else 0
             reports = backend.run_round(horizon, route)
+            if coord_spans is not None:
+                coord_spans.add(
+                    "sync", "round", t_round, wall_ns() - t_round,
+                    tid="rounds",
+                    args={
+                        "round": rounds,
+                        "horizon_ns": horizon,
+                        # INF means "no pending event anywhere" — exported
+                        # as -1 to keep the JSON readable
+                        "m_hat_ns": -1 if m_hat == INF else m_hat,
+                        "handoffs": sum(len(h) for h in route.values()),
+                    },
+                )
             rounds += 1
             total_events += sum(r[3] for r in reports.values())
             if sync.at_boundary(horizon):
@@ -504,6 +644,8 @@ def run_parallel_experiment(
         start_method=start_method,
         rounds=rounds,
         stall_s=stall_s,
+        spans=spans if spans_on else None,
+        coord_spans=coord_spans,
     )
 
 
@@ -563,6 +705,8 @@ def _merge_results(
     start_method: Optional[str],
     rounds: int,
     stall_s: float,
+    spans: Optional[SpanRecorder] = None,
+    coord_spans: Optional[SpanRecorder] = None,
 ) -> ExperimentResult:
     order = sorted(finals)
     collector = FctCollector()
@@ -596,6 +740,27 @@ def _merge_results(
         tracer.events.extend(merged)
         tracer.dropped_events += dropped
 
+    if spans is not None:
+        # deterministic per-round interleave: collect the coordinator's
+        # ring and every partition's ring (they travel home inside the
+        # final reports), then sort by (round, pid, phase).  Sorting by
+        # round — never wall time — keeps the export order a pure
+        # function of the run, and means the caller's bounded ring
+        # evicts the *oldest rounds uniformly across partitions* rather
+        # than silently discarding whole partitions.
+        merged_spans: List[Any] = []
+        dropped_spans = 0
+        if coord_spans is not None and coord_spans is not spans:
+            merged_spans.extend(coord_spans.spans)
+            dropped_spans += coord_spans.dropped_spans
+        for pid in order:
+            shipped = finals[pid].get("spans")
+            if shipped is not None:
+                merged_spans.extend(shipped[0])
+                dropped_spans += shipped[1]
+        merged_spans.sort(key=round_merge_key)
+        spans.adopt(merged_spans, dropped_spans)
+
     per_partition = [finals[pid]["profile"] for pid in order]
     part_events = sum(p["events"] for p in per_partition)
     if part_events != total_events:  # pragma: no cover - protocol guard
@@ -608,7 +773,16 @@ def _merge_results(
         "heap_hwm": max((p["heap_hwm"] for p in per_partition), default=0),
         "wall_s": wall_s,
         "events_per_sec": total_events / wall_s if wall_s > 0 else 0.0,
-        "rss_hwm_bytes": _rss_high_water(),
+        # the parent's own peak, floored by every partition process's
+        # peak (getrusage + in-run round-boundary samples) — this is
+        # what makes short-lived worker peaks visible
+        "rss_hwm_bytes": max(
+            _rss_high_water(),
+            max(
+                (p.get("rss_hwm_bytes", 0) for p in per_partition),
+                default=0,
+            ),
+        ),
         "equeue": "parallel:heap",
         "equeue_stats": {},
         "workers": n_workers,
@@ -619,6 +793,10 @@ def _merge_results(
         "cpu_count": os.cpu_count() or 1,
         "per_partition": per_partition,
     }
+    if spans is not None:
+        phase_stats = stall_table(spans.iter_dicts())
+        if phase_stats is not None:
+            profile["phase_stats"] = phase_stats
     return ExperimentResult(
         config=cfg,
         summary=collector.summarize(),
