@@ -122,6 +122,14 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     parser.add_argument(
+        "--no-batch", action="store_false", dest="batch",
+        help=(
+            "disable the batched hot path (same-timestamp run draining "
+            "and inline transmit trains); pure performance knob — "
+            "results are bit-identical either way"
+        ),
+    )
+    parser.add_argument(
         "--spans", metavar="PATH", default=None,
         help=(
             "record the harness flight recorder (chunk / round-phase / "
@@ -481,6 +489,7 @@ def _config_from_args(args: argparse.Namespace) -> ExperimentConfig:
         buffer_bytes=args.buffer_kb * KB,
         equeue=args.equeue,
         workers=args.workers,
+        batch=args.batch,
     )
 
 

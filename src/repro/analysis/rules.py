@@ -1,4 +1,4 @@
-"""The built-in simlint rules, SIM001..SIM012.
+"""The built-in simlint rules, SIM001..SIM013.
 
 Each rule encodes one project-specific invariant that a generic linter
 cannot express — they are all, one way or another, about keeping the
@@ -873,3 +873,67 @@ def check_multiprocessing_confined(mod: ModuleInfo) -> Iterator[Finding]:
                 "drivers — process fan-out belongs to repro.harness.sweep "
                 "and repro.sim.parallel",
             )
+
+
+# -- SIM013: event-queue draining confinement --------------------------------
+
+_EQ_DRAIN_PKGS = (
+    ("repro", "sim", "engine"),
+    ("repro", "sim", "equeue"),
+)
+
+
+@rule(
+    "SIM013",
+    "equeue-drain-in-engine-only",
+    rationale=(
+        "Event consumption is the run loop's contract: popping or "
+        "run-draining an event queue advances the (time, seq) order, the "
+        "tombstone filter and the batched clock rule.  A module that "
+        "drains the queue directly bypasses run accounting and the "
+        "batched/unbatched equivalence the engine guarantees."
+    ),
+)
+def check_equeue_drain_confined(mod: ModuleInfo) -> Iterator[Finding]:
+    """``pop()``/``drain_run()`` on an event queue may appear only in
+    ``repro.sim.engine`` and the backends under ``repro.sim.equeue``:
+    every other module observes events solely through ``Simulator``
+    callbacks.  ``drain_run`` is unambiguous and flagged on any receiver;
+    a bare zero-argument ``.pop()`` is flagged only when the receiver is
+    named like an event queue (name contains ``equeue`` or is exactly
+    ``eq``), so everyday list/deque/dict pops stay silent.  A genuinely
+    new run driver belongs next to the engine, not behind a pragma."""
+    parts = mod.package_parts()
+    for allowed in _EQ_DRAIN_PKGS:
+        if parts[: len(allowed)] == allowed:
+            return
+    for node in ast.walk(mod.tree):
+        if not isinstance(node, ast.Call):
+            continue
+        func = node.func
+        if not isinstance(func, ast.Attribute):
+            continue
+        if func.attr == "drain_run":
+            yield mod.finding(
+                "SIM013",
+                node,
+                "drain_run() called outside repro.sim.engine and "
+                "repro.sim.equeue — run draining (tombstones, clock "
+                "rule, batch accounting) belongs to Simulator.run",
+            )
+        elif func.attr == "pop" and not node.args and not node.keywords:
+            recv = func.value
+            if isinstance(recv, ast.Attribute):
+                name = recv.attr
+            elif isinstance(recv, ast.Name):
+                name = recv.id
+            else:
+                continue
+            if "equeue" in name or name == "eq":
+                yield mod.finding(
+                    "SIM013",
+                    node,
+                    f"{name}.pop() outside repro.sim.engine and "
+                    "repro.sim.equeue — event consumption belongs to "
+                    "the engine run loop",
+                )

@@ -20,6 +20,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import math
 import os
 import sys
 from typing import Dict, Optional
@@ -79,6 +80,17 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     parser.add_argument(
+        "--no-batch",
+        action="store_false",
+        dest="batch",
+        help=(
+            "disable the batched hot path (same-timestamp run draining "
+            "and inline transmit trains); results are bit-identical, "
+            "only speed moves — useful for before/after measurements "
+            "and as a CI cross-check"
+        ),
+    )
+    parser.add_argument(
         "--out",
         default=".",
         metavar="DIR",
@@ -135,6 +147,20 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _geomean(ratios) -> Optional[float]:
+    """Geometric mean of per-scenario ev/s ratios (None when empty).
+
+    One cross-scenario number for perf-trajectory eyeballing: the
+    geomean weights a 2x on a fast scenario and a 2x on a slow one
+    equally, where an arithmetic mean over ev/s would drown the slow
+    one.  Never gates — the per-scenario threshold does that.
+    """
+    if not ratios:
+        return None
+    log_sum = sum(math.log(r) for r in ratios)
+    return math.exp(log_sum / len(ratios))
+
+
 def _load_baseline(path: str) -> Optional[Dict[str, BenchResult]]:
     """Load the baseline, or print a one-line diagnosis and return None.
 
@@ -179,6 +205,7 @@ def main(argv=None) -> int:
             equeue=args.equeue,
             workers=args.workers,
             spans=spans,
+            batch=args.batch,
         )
         results.append(result)
         path = write_result(result, args.out)
@@ -200,14 +227,24 @@ def main(argv=None) -> int:
     for comparison in comparisons:
         print(comparison.describe())
         regressed = regressed or comparison.regressed
+    ratios = [c.ratio for c in comparisons if c.ratio > 0]
+    geomean = _geomean(ratios)
+    if geomean is not None:
+        n = len(ratios)
+        print(
+            f"geomean ev/s ratio over {n} scenario{'s' if n != 1 else ''}: "
+            f"{geomean:.2f}x"
+        )
     missing = [r.scenario for r in results if r.scenario not in baseline]
     if missing:
         print(f"(no baseline for: {', '.join(missing)})")
     if args.compare_json is not None:
         payload = {
             "equeue": args.equeue,
+            "batch": args.batch,
             "threshold": args.threshold,
             "regressed": regressed,
+            "geomean_ratio": round(geomean, 4) if geomean else None,
             "comparisons": [
                 {
                     "scenario": c.scenario,

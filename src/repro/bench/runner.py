@@ -66,6 +66,13 @@ class BenchResult:
     #: per-phase stall attribution (stall_table output) when the scenario
     #: ran with span recording — empty otherwise
     phase_stats: Dict[str, object] = field(default_factory=dict)
+    #: whether the batched hot path was on (old baselines default True —
+    #: pre-batching engines and batch=True are throughput-comparable
+    #: claims about the same scenario)
+    batch: bool = True
+    #: batched hot-path counters (runs_drained, trains, train_pkts,
+    #: train_fallbacks, run/train histograms); empty in old baselines
+    batch_stats: Dict[str, object] = field(default_factory=dict)
 
     def as_dict(self) -> Dict[str, object]:
         return {
@@ -89,6 +96,8 @@ class BenchResult:
             "sync_stall_s": round(self.sync_stall_s, 6),
             "start_method": self.start_method,
             "phase_stats": self.phase_stats,
+            "batch": self.batch,
+            "batch_stats": self.batch_stats,
         }
 
     @classmethod
@@ -114,6 +123,10 @@ class BenchResult:
             sync_stall_s=float(data.get("sync_stall_s", 0.0)),  # type: ignore[arg-type]
             start_method=str(data.get("start_method", "")),
             phase_stats=dict(data.get("phase_stats", {})),  # type: ignore[arg-type]
+            # default-tolerant: baselines written before the batched hot
+            # path carry neither key
+            batch=bool(data.get("batch", True)),
+            batch_stats=dict(data.get("batch_stats", {})),  # type: ignore[arg-type]
         )
 
     def describe(self) -> str:
@@ -147,6 +160,7 @@ def run_scenario(
     equeue: str = "heap",
     workers: int = 0,
     spans: Optional["SpanRecorder"] = None,
+    batch: bool = True,
 ) -> BenchResult:
     """Run one pinned scenario ``repeat`` times; keep the fastest.
 
@@ -176,7 +190,7 @@ def run_scenario(
         if spans_on and spans is not None:
             rep_spans = SpanRecorder(capacity=spans.capacity, pid=spans.pid)
         profile, run_fingerprint = scenario.run(
-            equeue=equeue, workers=workers, spans=rep_spans
+            equeue=equeue, workers=workers, spans=rep_spans, batch=batch
         )
         allocated, reused, _free = freelist_stats()
         if fingerprint is not None and dict(run_fingerprint) != dict(
@@ -221,6 +235,19 @@ def run_scenario(
         sync_stall_s=float(best_profile.get("sync_stall_s", 0.0)),  # type: ignore[arg-type]
         start_method=str(best_profile.get("start_method", "")),
         phase_stats=dict(best_profile.get("phase_stats", {})),  # type: ignore[call-overload]
+        batch=batch,
+        batch_stats={
+            k: best_profile[k]
+            for k in (
+                "runs_drained",
+                "run_hist",
+                "trains",
+                "train_pkts",
+                "train_hist",
+                "train_fallbacks",
+            )
+            if k in best_profile
+        },
     )
 
 

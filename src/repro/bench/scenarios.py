@@ -1,8 +1,8 @@
 """The pinned scenarios: what each one stresses, and how it runs.
 
 A scenario is a name, a one-line description, and a ``run()`` (taking
-optional ``equeue`` backend-name, ``workers`` count, and ``spans``
-recorder keywords) returning ``(profile, fingerprint)``:
+optional ``equeue`` backend-name, ``workers`` count, ``spans`` recorder,
+and ``batch`` toggle keywords) returning ``(profile, fingerprint)``:
 
 * ``profile`` — the :class:`~repro.obs.profile.RunProfile` dict for the
   run (events, heap_hwm, wall_s, events_per_sec, rss_hwm_bytes);
@@ -41,6 +41,7 @@ def _engine_churn(
     equeue: str = "heap",
     workers: int = 0,
     spans: Optional[SpanRecorder] = None,
+    batch: bool = True,
 ) -> Tuple[Profile, Fingerprint]:
     """Pure engine stress: a rotating timer set under constant churn.
 
@@ -64,7 +65,7 @@ def _engine_churn(
     steps = 200_000
     k_timers = 256
     timer_horizon_ns = 5_000
-    sim = Simulator(equeue=equeue)
+    sim = Simulator(equeue=equeue, batch=batch)
     timers = deque()
 
     def noop() -> None:
@@ -102,9 +103,12 @@ def _experiment(**overrides) -> RunFn:
         equeue: str = "heap",
         workers: int = 0,
         spans: Optional[SpanRecorder] = None,
+        batch: bool = True,
     ) -> Tuple[Profile, Fingerprint]:
         result = run_experiment(
-            ExperimentConfig(equeue=equeue, workers=workers, **overrides),
+            ExperimentConfig(
+                equeue=equeue, workers=workers, batch=batch, **overrides
+            ),
             spans=spans,
         )
         fingerprint = {

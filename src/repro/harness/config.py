@@ -96,6 +96,11 @@ class ExperimentConfig:
     # engine is digest-checked by tests/test_parallel.py, which is why
     # the sweep cache fingerprint excludes this knob.
     workers: int = 0
+    # Batched hot path (run draining + inline transmit trains): a pure
+    # performance knob, bit-identical on and off — pinned by the golden
+    # digests and the batched-vs-unbatched fuzz — so, like `workers`,
+    # the sweep cache fingerprint excludes it.  False = `--no-batch`.
+    batch: bool = True
 
     def validate(self) -> None:
         """Fail fast on inconsistent combinations."""

@@ -11,7 +11,7 @@ from __future__ import annotations
 import os
 import sys
 from dataclasses import dataclass, field
-from typing import Dict
+from typing import Dict, List
 
 from repro.sim.engine import Simulator
 
@@ -40,6 +40,19 @@ class RunProfile:
     equeue: str = "heap"
     #: backend structure counters (EventQueue.stats(); empty for the heap)
     equeue_stats: Dict[str, int] = field(default_factory=dict)
+    # -- batched hot path (all zero when batching is off) ----------------
+    #: same-timestamp runs dispatched by the batched run loops
+    runs_drained: int = 0
+    #: run-length histogram, bucketed by bit_length(run_len)
+    run_hist: List[int] = field(default_factory=lambda: [0] * 18)
+    #: back-to-back transmit trains executed by ports
+    trains: int = 0
+    #: frames those trains carried
+    train_pkts: int = 0
+    #: train-length histogram, bucketed by bit_length(train_len)
+    train_hist: List[int] = field(default_factory=lambda: [0] * 18)
+    #: trains cut short by an unsafe inline step (competing event)
+    train_fallbacks: int = 0
 
     @classmethod
     def capture(
@@ -63,6 +76,12 @@ class RunProfile:
             rss_hwm_bytes=max(_rss_high_water(), rss_floor),
             equeue=sim.equeue_name,
             equeue_stats=sim.equeue_stats(),
+            runs_drained=sim.runs_drained,
+            run_hist=list(sim.run_hist),
+            trains=sim.trains,
+            train_pkts=sim.train_pkts,
+            train_hist=list(sim.train_hist),
+            train_fallbacks=sim.train_fallbacks,
         )
 
     @classmethod
@@ -85,6 +104,12 @@ class RunProfile:
                 "rss_hwm_bytes",
                 "equeue",
                 "equeue_stats",
+                "runs_drained",
+                "run_hist",
+                "trains",
+                "train_pkts",
+                "train_hist",
+                "train_fallbacks",
             )
             if f in d
         }
@@ -99,6 +124,12 @@ class RunProfile:
             "rss_hwm_bytes": self.rss_hwm_bytes,
             "equeue": self.equeue,
             "equeue_stats": dict(self.equeue_stats),
+            "runs_drained": self.runs_drained,
+            "run_hist": list(self.run_hist),
+            "trains": self.trains,
+            "train_pkts": self.train_pkts,
+            "train_hist": list(self.train_hist),
+            "train_fallbacks": self.train_fallbacks,
         }
 
     def describe(self) -> str:

@@ -185,6 +185,25 @@ class SpDwrrScheduler(_SpOverScheduler):
                 deficit[idx] += queue.quantum
                 refresh[idx] = False
             head_size = pkts[0].wire_size
+            if (
+                head_size > deficit[idx]
+                and len(active) == 1
+                and low.round_observer is None
+            ):
+                # Lone active queue: every rotation of the slow loop
+                # below comes straight back here at this same ``now``,
+                # and each spin is just one quantum grant — ``_start_turn``
+                # has already stamped ``now`` (or does so exactly once
+                # here), so ``now > last`` is false for every further
+                # turn and, with no round observer attached, the turns
+                # are pure arithmetic.  Fold the k turns into one grant:
+                # same final deficit, same turn-start bookkeeping,
+                # byte-identical dequeue order.
+                quantum = queue.quantum
+                short = head_size - deficit[idx]
+                deficit[idx] += ((short + quantum - 1) // quantum) * quantum
+                low._last_turn_start[idx] = now
+                refresh[idx] = False
             if head_size <= deficit[idx]:
                 deficit[idx] -= head_size
                 # inlined PacketQueue.pop + byte accounting (hot path)

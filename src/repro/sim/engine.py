@@ -89,6 +89,15 @@ class Simulator:
 
     __slots__ = (
         "now",
+        # hot entry points, bound per instance by _bind_hot_paths():
+        # each simulator carries callables specialized to its backend,
+        # so the per-call backend dispatch (heap? ladder? generic?) is
+        # paid once at construction instead of on every schedule/cancel
+        "schedule",
+        "schedule_call",
+        "schedule_tx",
+        "schedule_tx_train",
+        "cancel",
         "_equeue",
         "_eq_push",
         "_eq_cancel",
@@ -99,9 +108,19 @@ class Simulator:
         "_running",
         "events_executed",
         "heap_hwm",
+        "batch",
+        "_run_bound",
+        "_drain_left",
+        "_inline_ct",
+        "runs_drained",
+        "run_hist",
+        "trains",
+        "train_pkts",
+        "train_hist",
+        "train_fallbacks",
     )
 
-    def __init__(self, equeue: EQueueSpec = None) -> None:
+    def __init__(self, equeue: EQueueSpec = None, batch: bool = True) -> None:
         self.now: int = 0
         self._seq: int = 0
         #: seqs of entries cancelled but not physically removed (lazy deletion)
@@ -132,10 +151,181 @@ class Simulator:
         self.events_executed: int = 0
         #: high-water mark of the pending-event pool (cancelled included)
         self.heap_hwm: int = 0
+        #: batched hot path: same-timestamp run draining in the dispatch
+        #: loop plus inline transmit trains via :meth:`schedule_tx_train`.
+        #: ``False`` restores the per-event dispatch loop and makes
+        #: ``schedule_tx_train`` an alias for ``schedule_tx`` — the
+        #: ``--no-batch`` A/B escape hatch.  Both modes are bit-identical.
+        self.batch: bool = batch
+        #: inclusive ``until`` bound of the run() call in progress when
+        #: batching, else -1 — inline train steps may never advance the
+        #: clock past it (that would break the run(until=...) contract)
+        self._run_bound: int = -1
+        #: events of the current drained-run snapshot still undispatched
+        #: (generic backend path only; native loops keep entries queue-
+        #: visible, so this stays 0).  Non-zero blocks inline train steps:
+        #: a snapshot entry is invisible to the queue floor probe.
+        self._drain_left: int = 0
+        #: inline train steps executed by the run() call in progress;
+        #: folded into its return value and ``events_executed``
+        self._inline_ct: int = 0
+        # -- batch counters (profiling; zero when batch is off) ---------
+        #: same-timestamp runs dispatched by the batched loops
+        self.runs_drained: int = 0
+        #: run-length histogram: index = bit_length(run_len), capped
+        self.run_hist: List[int] = [0] * 18
+        #: transmit trains: port done-tick anchors that ran at least one
+        #: serializer tick inline
+        self.trains: int = 0
+        #: frames carried by those trains (>= trains)
+        self.train_pkts: int = 0
+        #: train-length histogram: index = bit_length(train_len), capped
+        self.train_hist: List[int] = [0] * 18
+        #: inline train steps denied because a competing event at or
+        #: before the serializer-done tick could not be ruled out (each
+        #: denial schedules the pair normally and ends any live train)
+        self.train_fallbacks: int = 0
+        self._bind_hot_paths()
+
+    def _bind_hot_paths(self) -> None:
+        """Bind the hot entry points, specialized to the active backend.
+
+        The names are instance slots (see ``__slots__``): the default
+        heap backend gets closures over the raw entry list, so every
+        ``schedule``/``schedule_tx`` call skips the backend dispatch and
+        the ``self._heap`` indirection the generic bodies pay; other
+        backends bind the generic ``_*_any`` methods.  A subclass that
+        defines any of these names as a real method (the partitioned
+        engine's composite-key schedule family) shadows the slot — the
+        bind raises ``AttributeError`` for that name and is skipped, so
+        the method stays in charge.
+        """
+        heap = self._heap
+        if heap is None:
+            schedule = self._schedule_any
+            schedule_call = self._schedule_call_any
+            schedule_tx = self._schedule_tx_any
+            schedule_tx_train = self._schedule_tx_train_any
+        else:
+            sim = self
+            push = heappush
+
+            def schedule(
+                delay_ns: int, fn: Callable[[], None]
+            ) -> EventHandle:
+                """Schedule ``fn`` in ``delay_ns`` ns (heap fast path)."""
+                if delay_ns < 0:
+                    raise ValueError(
+                        f"cannot schedule in the past (delay={delay_ns})"
+                    )
+                sim._seq = seq = sim._seq + 1
+                entry = (sim.now + delay_ns, seq, fn)
+                push(heap, entry)
+                n = len(heap)
+                if n > sim.heap_hwm:
+                    sim.heap_hwm = n
+                return entry
+
+            def schedule_call(
+                delay_ns: int, fn: Callable[[Any], None], arg: Any
+            ) -> EventHandle:
+                """Schedule ``fn(arg)`` in ``delay_ns`` ns (heap fast path)."""
+                sim._seq = seq = sim._seq + 1
+                entry = (sim.now + delay_ns, seq, fn, arg)
+                push(heap, entry)
+                n = len(heap)
+                if n > sim.heap_hwm:
+                    sim.heap_hwm = n
+                return entry
+
+            def schedule_tx(
+                tx_ns: int,
+                done_fn: Callable[[], None],
+                rx_ns: int,
+                rx_fn: Callable[[Any], None],
+                pkt: Any,
+            ) -> None:
+                """Schedule a transmit pair: done tick then delivery."""
+                seq = sim._seq + 1
+                sim._seq = seq + 1
+                now = sim.now
+                push(heap, (now + tx_ns, seq, done_fn))
+                push(heap, (now + rx_ns, seq + 1, rx_fn, pkt))
+                n = len(heap)
+                if n > sim.heap_hwm:
+                    sim.heap_hwm = n
+
+            def schedule_tx_train(
+                tx_ns: int,
+                done_fn: Callable[[], None],
+                rx_ns: int,
+                rx_fn: Callable[[Any], None],
+                pkt: Any,
+            ) -> bool:
+                """Transmit pair with the inline-train fast path.
+
+                See :meth:`Simulator._schedule_tx_train_any` for the
+                proof obligations; this is its heap specialization with
+                the fallback pair-push inlined.
+                """
+                now = sim.now
+                t_next = now + tx_ns
+                if (
+                    t_next <= sim._run_bound
+                    and not sim._drain_left
+                    and (heap[0][0] if heap else _NEVER) > t_next
+                ):
+                    sim._seq = seq = sim._seq + 2
+                    push(heap, (now + rx_ns, seq, rx_fn, pkt))
+                    n = len(heap)
+                    if n > sim.heap_hwm:
+                        sim.heap_hwm = n
+                    sim.now = t_next
+                    sim._inline_ct += 1
+                    return True
+                seq = sim._seq + 1
+                sim._seq = seq + 1
+                push(heap, (t_next, seq, done_fn))
+                push(heap, (now + rx_ns, seq + 1, rx_fn, pkt))
+                n = len(heap)
+                if n > sim.heap_hwm:
+                    sim.heap_hwm = n
+                return False
+
+        if self._eq_cancel is not None:
+            cancel = self._cancel_any
+        else:
+            cancelled_add = self._cancelled.add
+
+            def cancel(handle: EventHandle) -> None:
+                """Cancel a scheduled event (lazy tombstone path)."""
+                cancelled_add(handle[1])
+
+        for name, fn in (
+            ("schedule", schedule),
+            ("schedule_call", schedule_call),
+            ("schedule_tx", schedule_tx),
+            ("schedule_tx_train", schedule_tx_train),
+            ("cancel", cancel),
+        ):
+            try:
+                setattr(self, name, fn)
+            except AttributeError:
+                # shadowed by a subclass method — keep the method
+                pass
 
     # -- scheduling -----------------------------------------------------
+    #
+    # ``schedule`` / ``schedule_call`` / ``schedule_tx`` /
+    # ``schedule_tx_train`` / ``cancel`` are instance slots bound by
+    # :meth:`_bind_hot_paths`: the default heap backend gets closures
+    # over the raw entry list, every other backend gets the ``_*_any``
+    # methods below (whose bodies keep the historical three-way backend
+    # dispatch).  Subclasses that define these names as real methods —
+    # the partitioned engine overrides the schedule family for composite
+    # sequence keys — shadow the slot and keep their methods.
 
-    def schedule(self, delay_ns: int, fn: Callable[[], None]) -> EventHandle:
+    def _schedule_any(self, delay_ns: int, fn: Callable[[], None]) -> EventHandle:
         """Schedule ``fn`` to run ``delay_ns`` nanoseconds from now.
 
         Returns a handle usable with :meth:`cancel`.
@@ -206,7 +396,7 @@ class Simulator:
                     lad.push(entry)
         return entry
 
-    def schedule_call(
+    def _schedule_call_any(
         self, delay_ns: int, fn: Callable[[Any], None], arg: Any
     ) -> EventHandle:
         """Hot-path scheduling: ``fn(arg)`` in ``delay_ns`` nanoseconds.
@@ -246,7 +436,7 @@ class Simulator:
                     lad.push(entry)
         return entry
 
-    def schedule_tx(
+    def _schedule_tx_any(
         self,
         tx_ns: int,
         done_fn: Callable[[], None],
@@ -306,6 +496,86 @@ class Simulator:
                 else:
                     lad.push(e2)
 
+    def _schedule_tx_train_any(
+        self,
+        tx_ns: int,
+        done_fn: Callable[[], None],
+        rx_ns: int,
+        rx_fn: Callable[[Any], None],
+        pkt: Any,
+    ) -> bool:
+        """Transmit-pair scheduling with an inline fast path for trains.
+
+        Semantically identical to :meth:`schedule_tx`, but when the
+        engine can *prove* that nothing else fires at or before the
+        serializer-done tick — the queue's floor is strictly later, the
+        tick is inside the current ``run(until=...)`` bound, and no
+        drained-run snapshot is mid-dispatch — the tick is executed
+        inline instead of round-tripping through the event queue: the
+        sequence number the done event would have consumed is burned (so
+        the delivery event, and every later event in the simulation,
+        gets the exact ``(time, seq)`` tuple the per-frame path would
+        have produced), the delivery is pushed, and the clock advances
+        to the tick.  Returns ``True`` in that case — the caller (the
+        port's transmit train) loops and transmits the next frame
+        directly, skipping one full dispatch round-trip per frame.
+
+        Returns ``False`` when the proof fails; the pair has then been
+        scheduled exactly as :meth:`schedule_tx` would, and ``done_fn``
+        will fire through the normal loop.  Because the inline path
+        advances the clock only when no other event could observe the
+        intermediate states, both outcomes are bit-identical to the
+        per-frame engine — pinned by the golden digests and the
+        batched-vs-unbatched fuzz.
+        """
+        t_next = self.now + tx_ns
+        if t_next <= self._run_bound and not self._drain_left:
+            heap = self._heap
+            lad = self._ladder
+            # non-mutating lower bound on the next pending event's time;
+            # tombstoned heads only make it conservative (a denied inline
+            # falls back to the per-frame path, never a wrong one)
+            if heap is not None:
+                floor = heap[0][0] if heap else _NEVER
+            elif lad is not None:
+                bottom = lad._bottom
+                bi = lad._bi
+                if bi < len(bottom):
+                    floor = bottom[bi][0]
+                elif lad._count:
+                    floor = (lad._cur + 1) << lad._shift
+                else:
+                    floor = _NEVER
+            else:
+                floor = self._equeue.peek_floor()
+            if floor > t_next:
+                self._seq = seq = self._seq + 2
+                entry = (self.now + rx_ns, seq, rx_fn, pkt)
+                if heap is not None:
+                    heappush(heap, entry)
+                    n = len(heap)
+                    if n > self.heap_hwm:
+                        self.heap_hwm = n
+                elif lad is not None:
+                    # inlined LadderEventQueue.push (see schedule_call)
+                    b = entry[0] >> lad._shift
+                    if b <= lad._cur:
+                        insort(lad._bottom, entry, lad._bi)
+                    elif b < lad._limit:
+                        lad._ring[b & lad._mask].append(entry)
+                        lad._count += 1
+                    else:
+                        lad.push(entry)
+                else:
+                    n = self._eq_push(entry)
+                    if n > self.heap_hwm:
+                        self.heap_hwm = n
+                self.now = t_next
+                self._inline_ct += 1
+                return True
+        self.schedule_tx(tx_ns, done_fn, rx_ns, rx_fn, pkt)
+        return False
+
     def schedule_many(
         self, items: Iterable[Tuple[int, Callable[[], None]]]
     ) -> None:
@@ -334,7 +604,7 @@ class Simulator:
         if n > self.heap_hwm:
             self.heap_hwm = n
 
-    def cancel(self, handle: EventHandle) -> None:
+    def _cancel_any(self, handle: EventHandle) -> None:
         """Cancel a scheduled event.
 
         The backend gets first refusal — the timer wheel removes the
@@ -370,8 +640,13 @@ class Simulator:
           event's time) so the next ``run()``/``step()`` never moves time
           backwards, and a later ``run(until=...)`` call resumes exactly
           where the budget cut in.
-        * ``max_events`` counts executed (non-cancelled) events only, and
-          the run stops *after* the event that exhausts the budget.
+        * ``max_events`` counts engine-dispatched (non-cancelled) events
+          only, and the run stops *after* the event that exhausts the
+          budget.  Inline transmit-train steps (see
+          :meth:`schedule_tx_train`) ride inside their anchor event's
+          dispatch: they are included in the return value and in
+          ``events_executed``, but a budget check cannot cut a train
+          mid-flight any more than it could interrupt a callback.
         """
         heap = self._heap
         cancelled = self._cancelled
@@ -381,6 +656,12 @@ class Simulator:
         until_bound = _NEVER if until is None else until
         budget = _NEVER if max_events is None else max_events
         executed = 0
+        batch = self.batch
+        if batch:
+            # inline train steps may advance the clock up to (and
+            # including) this bound without breaking the until contract
+            self._run_bound = until_bound
+        self._inline_ct = 0
         self._running = True
         # Pause the cyclic collector for the duration of the loop: the
         # hot path allocates nothing but short-lived event tuples and
@@ -398,7 +679,108 @@ class Simulator:
             gc_was_enabled = gc.isenabled()
             if gc_was_enabled:
                 gc.disable()
-            if heap is not None:
+            if heap is not None and batch:
+                # batched dispatch: pop-first with a same-timestamp fast
+                # path.  Every event of a run after the first skips the
+                # until comparison and the clock store, and popping
+                # before the tombstone check saves the separate heap[0]
+                # peek the legacy loop paid per event (tombstones
+                # included).  Entries stay queue-visible until popped
+                # one at a time, so callbacks — and the train floor
+                # probe — always see a truthful queue.  Singleton runs
+                # (the overwhelming majority in timer-churn workloads)
+                # fold into one counter at the boundary; the histogram
+                # write happens only for multi-event runs.
+                pop = heappop
+                time = -1
+                hist = self.run_hist
+                # Run accounting rides the *rare* path only: a singleton
+                # run (the overwhelming majority in timer-churn
+                # workloads) pays two predictable compares and nothing
+                # else; `mlen` tracks the multi-event run in progress
+                # (0 = none) and `multi` the events those runs carried,
+                # so singles fall out as `executed - multi` at the end.
+                mlen = 0
+                multi = 0
+                runs = 0
+                if until_bound == _NEVER and budget == _NEVER:
+                    # free-running run() (no until, no max_events): the
+                    # per-event budget compare and per-run until compare
+                    # drop out of the loop entirely, and the empty check
+                    # rides on heappop's IndexError (free until it fires
+                    # once, at the end) instead of a per-event truthiness
+                    # test
+                    while True:
+                        try:
+                            entry = pop(heap)
+                        except IndexError:
+                            break
+                        if cancelled and entry[1] in cancelled:
+                            # tombstones never advance the clock or
+                            # close a run
+                            cancelled.discard(entry[1])
+                            continue
+                        t = entry[0]
+                        if t != time:
+                            if mlen:
+                                runs += 1
+                                multi += mlen
+                                b = mlen.bit_length()
+                                hist[b if b < 17 else 17] += 1
+                                mlen = 0
+                            self.now = time = t
+                        else:
+                            mlen = mlen + 1 if mlen else 2
+                        if len(entry) == 3:
+                            entry[2]()
+                        else:
+                            entry[2](entry[3])
+                        executed += 1
+                else:
+                    while True:
+                        try:
+                            entry = pop(heap)
+                        except IndexError:
+                            break
+                        if cancelled and entry[1] in cancelled:
+                            # tombstones never advance the clock or close
+                            # a run — dropping one past `until` here
+                            # (instead of leaving it queued like the
+                            # peek-first loop would) is pure compaction,
+                            # the same the legacy engine performs in
+                            # peek_time()
+                            cancelled.discard(entry[1])
+                            continue
+                        t = entry[0]
+                        if t != time:
+                            if t > until_bound:
+                                heappush(heap, entry)
+                                break
+                            if mlen:
+                                runs += 1
+                                multi += mlen
+                                b = mlen.bit_length()
+                                hist[b if b < 17 else 17] += 1
+                                mlen = 0
+                            self.now = time = t
+                        else:
+                            mlen = mlen + 1 if mlen else 2
+                        if len(entry) == 3:
+                            entry[2]()
+                        else:
+                            entry[2](entry[3])
+                        executed += 1
+                        if executed >= budget:
+                            break
+                if mlen:
+                    runs += 1
+                    multi += mlen
+                    b = mlen.bit_length()
+                    hist[b if b < 17 else 17] += 1
+                singles = executed - multi
+                hist[1] += singles
+                self.runs_drained += runs + singles
+            elif heap is not None:
                 pop = heappop
                 while heap:
                     entry = heap[0]
@@ -423,6 +805,10 @@ class Simulator:
                 )
         finally:
             self._running = False
+            self._run_bound = -1
+            self._drain_left = 0
+            executed += self._inline_ct
+            self._inline_ct = 0
             self.events_executed += executed
             lad = self._ladder
             if lad is not None and lad._hwm > self.heap_hwm:

@@ -28,13 +28,25 @@ maintain its high-water-mark profile counter without a second call.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Any, Dict, Iterator, Optional, Set, Tuple
+from typing import (
+    TYPE_CHECKING,
+    Any,
+    Dict,
+    Iterator,
+    List,
+    Optional,
+    Set,
+    Tuple,
+)
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
     from repro.sim.engine import Simulator
 
 #: one scheduled event: ``(time_ns, seq, fn)`` or ``(time_ns, seq, fn, arg)``
 Entry = Tuple[Any, ...]
+
+#: "no pending event" time bound (matches the engine's _NEVER sentinel)
+NEVER = 2**63 - 1
 
 
 class EventQueue:
@@ -105,6 +117,61 @@ class EventQueue:
         """
         raise NotImplementedError
 
+    def peek_floor(self) -> int:
+        """A lower bound on the next pending entry's time, or ``NEVER``.
+
+        Used by the engine's inline transmit train
+        (:meth:`Simulator.schedule_tx_train`) **mid-callback** to prove
+        that nothing can fire at or before a candidate serializer-done
+        tick.  The bound may be conservative (tombstoned heads, bucket
+        boundaries) — that only denies an inline step, never corrupts
+        order — but it must **never exceed** the true next entry time.
+
+        Backends whose :meth:`run_loop` caches dispatch cursors across
+        callbacks must override this with a strictly *non-mutating*
+        probe: the generic implementation delegates to :meth:`peek`,
+        which is allowed to reorganise storage and would invalidate
+        those cursors under the caller's feet.
+        """
+        entry = self.peek()
+        return NEVER if entry is None else entry[0]
+
+    def drain_run(self, until_bound: int, limit: int) -> Optional[List[Entry]]:
+        """Pop one whole same-timestamp run, oldest-first; ``None`` if none.
+
+        A *run* is the maximal sequence of entries sharing the least
+        pending timestamp, in ``seq`` order.  Returns ``None`` when the
+        queue is empty or the least entry is later than ``until_bound``
+        (the entry stays queued).  At most ``max(limit, 1)`` entries are
+        popped — a run longer than the remaining event budget is split
+        across calls, which is indistinguishable from one call because
+        the remainder keeps the same least timestamp.  Tombstoned
+        entries are **included** (the dispatcher owns the tombstone
+        set); the caller must publish the snapshot length via
+        ``sim._drain_left`` so inline train steps stay disabled while
+        popped-but-undispatched entries are invisible to
+        :meth:`peek_floor`.
+
+        Backends override this with a native slice (heap: repeated
+        sift; ladder/wheel: a bottom-run slice); the generic version
+        costs two method calls per entry, same as the legacy loop.
+        """
+        entry = self.peek()
+        if entry is None or entry[0] > until_bound:
+            return None
+        self.pop()
+        run = [entry]
+        time = entry[0]
+        peek = self.peek
+        pop = self.pop
+        while len(run) < limit:
+            entry = peek()
+            if entry is None or entry[0] != time:
+                break
+            pop()
+            run.append(entry)
+        return run
+
     def stats(self) -> Dict[str, int]:
         """Backend-specific structure counters (buckets, resizes, ...).
 
@@ -130,8 +197,56 @@ class EventQueue:
 
         This generic implementation costs two method calls per event;
         hot backends override it with a loop over their own storage.
+        When the simulator runs batched, whole same-timestamp runs are
+        drained via :meth:`drain_run` and dispatched from the snapshot —
+        ``sim._drain_left`` is kept truthful so inline train steps stay
+        off while snapshot entries are invisible to :meth:`peek_floor`.
         """
         executed = 0
+        if sim.batch:
+            drain = self.drain_run
+            hist = sim.run_hist
+            runs = 0
+            try:
+                while True:
+                    left = budget - executed
+                    run = drain(until_bound, left if left > 0 else 1)
+                    if run is None:
+                        break
+                    time = run[0][0]
+                    sim._drain_left = n = len(run)
+                    rl = 0
+                    for entry in run:
+                        sim._drain_left = n = n - 1
+                        if cancelled and entry[1] in cancelled:
+                            cancelled.discard(entry[1])
+                            continue
+                        if rl == 0:
+                            # advance the clock only once a real entry
+                            # dispatches: an all-tombstone run must leave
+                            # `sim.now` untouched, exactly like the
+                            # legacy loop (which never stores `now` for
+                            # a tombstone)
+                            sim.now = time
+                        if len(entry) == 3:
+                            entry[2]()
+                        else:
+                            entry[2](entry[3])
+                        rl += 1
+                    if rl:
+                        executed += rl
+                        runs += 1
+                        b = rl.bit_length()
+                        hist[b if b < 17 else 17] += 1
+                        # budget checked only after a real dispatch (an
+                        # all-tombstone run must not trip it — matters
+                        # for max_events=0, matching the legacy loop)
+                        if executed >= budget:
+                            break
+            finally:
+                sim._drain_left = 0
+                sim.runs_drained += runs
+            return executed
         peek = self.peek
         pop = self.pop
         while True:

@@ -17,7 +17,7 @@ from __future__ import annotations
 import heapq
 from typing import TYPE_CHECKING, Dict, Iterator, List, Optional, Set
 
-from repro.sim.equeue.base import Entry, EventQueue
+from repro.sim.equeue.base import NEVER, Entry, EventQueue
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.sim.engine import Simulator
@@ -54,6 +54,28 @@ class HeapEventQueue(EventQueue):
     def peek(self) -> Optional[Entry]:
         entries = self.entries
         return entries[0] if entries else None
+
+    def peek_floor(self) -> int:
+        entries = self.entries
+        return entries[0][0] if entries else NEVER
+
+    def drain_run(self, until_bound: int, limit: int) -> Optional[List[Entry]]:
+        # repeated sift: for the short runs real workloads produce this
+        # beats any slice-and-reheapify scheme, and each pop keeps the
+        # heap truthful for re-entrant pushes
+        entries = self.entries
+        if not entries:
+            return None
+        entry = entries[0]
+        time = entry[0]
+        if time > until_bound:
+            return None
+        pop = heapq.heappop
+        pop(entries)
+        run = [entry]
+        while entries and entries[0][0] == time and len(run) < limit:
+            run.append(pop(entries))
+        return run
 
     def __len__(self) -> int:
         return len(self.entries)

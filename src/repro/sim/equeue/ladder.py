@@ -34,10 +34,10 @@ cancelled set (discarding their seqs exactly as a lazy pop would).
 from __future__ import annotations
 
 import heapq
-from bisect import insort
+from bisect import bisect_left, insort
 from typing import TYPE_CHECKING, Dict, Iterator, List, Optional, Set
 
-from repro.sim.equeue.base import Entry, EventQueue
+from repro.sim.equeue.base import NEVER, Entry, EventQueue
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.sim.engine import Simulator
@@ -172,6 +172,42 @@ class LadderEventQueue(EventQueue):
                 return None
         return self._bottom[self._bi]
 
+    def peek_floor(self) -> int:
+        # strictly non-mutating (run_loop caches the bottom cursor across
+        # callbacks, so this must never _advance): the active run's head,
+        # else the lower edge of the first un-drained bucket — valid for
+        # ring *and* far entries, which all live in buckets > _cur
+        bi = self._bi
+        bottom = self._bottom
+        if bi < len(bottom):
+            return bottom[bi][0]
+        if self._count:
+            return (self._cur + 1) << self._shift
+        return NEVER
+
+    def drain_run(self, until_bound: int, limit: int) -> Optional[List[Entry]]:
+        # the active run is already (time, seq)-sorted: a same-timestamp
+        # run is a contiguous slice starting at the cursor
+        bottom = self._bottom
+        bi = self._bi
+        if bi == len(bottom):
+            if not self._advance():
+                return None
+            bi = 0
+        entry = bottom[bi]
+        time = entry[0]
+        if time > until_bound:
+            return None
+        # (time + 1,) is less than every entry tuple at time + 1 and
+        # greater than every entry at time, so this lands exactly past
+        # the run
+        end = bisect_left(bottom, (time + 1,), bi)
+        if end - bi > limit:
+            end = bi + limit if limit > 0 else bi + 1
+        run = bottom[bi:end]
+        self._bi = end
+        return run
+
     def __len__(self) -> int:
         return self._count + len(self._bottom) - self._bi
 
@@ -211,6 +247,76 @@ class LadderEventQueue(EventQueue):
         bi = self._bi
         blen = len(bottom)
         advance = self._advance
+        if sim.batch:
+            # batched dispatch: the active run is already sorted, so a
+            # same-timestamp run is consumed with one until comparison
+            # and one clock store at its head (`t != time` fast path) —
+            # the cursor keeps entries queue-visible one at a time, so
+            # re-entrant pushes and the train floor probe stay truthful
+            time = -1
+            run_start = 0
+            runs = 0
+            singles = 0
+            hist = sim.run_hist
+            while True:
+                if bi == blen:
+                    # the cached length can only be stale-low: re-entrant
+                    # pushes bisect in at or after the cursor, never before
+                    blen = len(bottom)
+                    if bi == blen:
+                        self._bi = bi
+                        if not advance():
+                            bi = self._bi  # advance reset the consumed run
+                            break
+                        bi = 0
+                        blen = len(bottom)
+                entry = bottom[bi]
+                seq = entry[1]
+                if cancelled and seq in cancelled:
+                    # tombstones never advance the clock or close a run
+                    # (consuming one past `until` is pure compaction,
+                    # same as peek_time's)
+                    cancelled.discard(seq)
+                    bi += 1
+                    self._bi = bi
+                    continue
+                t = entry[0]
+                if t != time:
+                    if t > until_bound:
+                        break
+                    if time >= 0:
+                        rl = executed - run_start
+                        if rl == 1:
+                            singles += 1
+                        else:
+                            runs += 1
+                            rl = rl.bit_length()
+                            hist[rl if rl < 17 else 17] += 1
+                        run_start = executed
+                    sim.now = time = t
+                bi += 1
+                # keep the insort anchor current: the callback may
+                # schedule into the active run
+                self._bi = bi
+                if len(entry) == 3:
+                    entry[2]()
+                else:
+                    entry[2](entry[3])
+                executed += 1
+                if executed >= budget:
+                    break
+            self._bi = bi
+            if time >= 0:
+                rl = executed - run_start
+                if rl == 1:
+                    singles += 1
+                else:
+                    runs += 1
+                    rl = rl.bit_length()
+                    hist[rl if rl < 17 else 17] += 1
+            hist[1] += singles
+            sim.runs_drained += runs + singles
+            return executed
         while True:
             if bi == blen:
                 # the cached length can only be stale-low: re-entrant

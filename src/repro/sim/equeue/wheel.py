@@ -27,10 +27,10 @@ bisect in past the cursor.
 
 from __future__ import annotations
 
-from bisect import insort
+from bisect import bisect_left, insort
 from typing import TYPE_CHECKING, Dict, Iterator, List, Optional, Set, Tuple
 
-from repro.sim.equeue.base import Entry, EventQueue
+from repro.sim.equeue.base import NEVER, Entry, EventQueue
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.sim.engine import Simulator
@@ -128,6 +128,39 @@ class TimerWheelEventQueue(EventQueue):
                 return None
         return self._bottom[self._bi]
 
+    def peek_floor(self) -> int:
+        # non-mutating (run_loop caches the bottom cursor): the active
+        # run's head, else the next level-0 bucket's lower edge — every
+        # wheel-stored entry has a level-0 index > _cur, so the bound
+        # holds across all levels (conservative for coarse ones)
+        bi = self._bi
+        bottom = self._bottom
+        if bi < len(bottom):
+            return bottom[bi][0]
+        if self._count - bi:
+            return (self._cur + 1) << self._s0
+        return NEVER
+
+    def drain_run(self, until_bound: int, limit: int) -> Optional[List[Entry]]:
+        # identical discipline to the ladder: the bottom run is sorted,
+        # so a same-timestamp run is a contiguous slice at the cursor
+        bottom = self._bottom
+        bi = self._bi
+        if bi == len(bottom):
+            if not self._advance():
+                return None
+            bi = 0
+        entry = bottom[bi]
+        time = entry[0]
+        if time > until_bound:
+            return None
+        end = bisect_left(bottom, (time + 1,), bi)
+        if end - bi > limit:
+            end = bi + limit if limit > 0 else bi + 1
+        run = bottom[bi:end]
+        self._bi = end
+        return run
+
     def __len__(self) -> int:
         return self._count - self._bi
 
@@ -162,6 +195,70 @@ class TimerWheelEventQueue(EventQueue):
         bi = self._bi
         blen = len(bottom)
         advance = self._advance
+        if sim.batch:
+            # batched dispatch (see LadderEventQueue.run_loop): one
+            # until comparison and one clock store per same-timestamp
+            # run, entries kept queue-visible one at a time
+            time = -1
+            run_start = 0
+            runs = 0
+            singles = 0
+            hist = sim.run_hist
+            while True:
+                if bi == blen:
+                    blen = len(bottom)
+                    if bi == blen:
+                        self._bi = bi
+                        if not advance():
+                            bi = self._bi
+                            break
+                        bi = 0
+                        blen = len(bottom)
+                entry = bottom[bi]
+                seq = entry[1]
+                if cancelled and seq in cancelled:
+                    # tombstones never advance the clock or close a run
+                    # (consuming one past `until` is pure compaction,
+                    # same as peek_time's)
+                    cancelled.discard(seq)
+                    bi += 1
+                    self._bi = bi
+                    continue
+                t = entry[0]
+                if t != time:
+                    if t > until_bound:
+                        break
+                    if time >= 0:
+                        rl = executed - run_start
+                        if rl == 1:
+                            singles += 1
+                        else:
+                            runs += 1
+                            rl = rl.bit_length()
+                            hist[rl if rl < 17 else 17] += 1
+                        run_start = executed
+                    sim.now = time = t
+                bi += 1
+                self._bi = bi  # callbacks may insort into the active run
+                if len(entry) == 3:
+                    entry[2]()
+                else:
+                    entry[2](entry[3])
+                executed += 1
+                if executed >= budget:
+                    break
+            self._bi = bi
+            if time >= 0:
+                rl = executed - run_start
+                if rl == 1:
+                    singles += 1
+                else:
+                    runs += 1
+                    rl = rl.bit_length()
+                    hist[rl if rl < 17 else 17] += 1
+            hist[1] += singles
+            sim.runs_drained += runs + singles
+            return executed
         while True:
             if bi == blen:
                 # the cached length can only be stale-low: re-entrant

@@ -101,12 +101,12 @@ class PartitionSimulator(Simulator):
         "_handoff_cnt",
     )
 
-    def __init__(self, pid: int) -> None:
+    def __init__(self, pid: int, batch: bool = True) -> None:
         if not 0 <= pid < MAX_PARTITIONS:
             raise ValueError(
                 f"partition id {pid} outside [0, {MAX_PARTITIONS})"
             )
-        super().__init__(equeue="heap")
+        super().__init__(equeue="heap", batch=batch)
         self.pid = pid
         #: handoffs captured since the coordinator last drained them
         self.outbox: List[Handoff] = []
@@ -238,6 +238,74 @@ class PartitionSimulator(Simulator):
         self._handoff_cnt = h + 1
         aseq = base | ARRIVAL_BIT | (self.pid << SRC_SHIFT) | h
         self.outbox.append((now + rx_ns, aseq, sink.spine_id, sink.export(pkt)))
+
+    def schedule_tx_train(
+        self,
+        tx_ns: int,
+        done_fn: Callable[[], None],
+        rx_ns: int,
+        rx_fn: Callable[[Any], None],
+        pkt: Any,
+    ) -> bool:
+        """Batched boundary capture: the inline train, composite-keyed.
+
+        Same proof obligation as the serial engine's
+        :meth:`Simulator.schedule_tx_train` — the done tick runs inline
+        only when nothing else can fire at or before it and the tick is
+        inside the coordinator's horizon (``run(until=...)`` sets
+        ``_run_bound``), so partitioned runs stay bit-identical.  The
+        composite key the done event would have carried is burned by
+        reserving its per-timestamp counter, exactly as ``schedule_tx``
+        would have: local deliveries take the next counter, boundary
+        deliveries become outbox handoffs stamped at the *scheduling*
+        time, so arrival keys — and therefore the merged digests — are
+        unchanged.  Lookahead is preserved: the clock only moves up to
+        the horizon, and arrivals are strictly later than it.
+        """
+        t_next = self.now + tx_ns
+        if t_next <= self._run_bound and not self._drain_left:
+            events = self._events
+            if not events or events[0][0] > t_next:
+                sink = self._sinks.get(rx_fn)
+                now = self.now
+                if now != self._seq_time:
+                    self._seq_time = now
+                    self._seq_cnt = 0
+                    self._handoff_cnt = 0
+                c = self._seq_cnt
+                base = now << TIME_SHIFT
+                if sink is None:
+                    if c + 2 > LOCAL_LIMIT:
+                        raise RuntimeError(
+                            f"partition {self.pid}: composite key space "
+                            f"exhausted at t={now}"
+                        )
+                    self._seq_cnt = c + 2
+                    self._push((now + rx_ns, base | (c + 1), rx_fn, pkt))
+                else:
+                    if c + 1 > LOCAL_LIMIT:
+                        raise RuntimeError(
+                            f"partition {self.pid}: composite key space "
+                            f"exhausted at t={now}"
+                        )
+                    self._seq_cnt = c + 1
+                    h = self._handoff_cnt
+                    if h >= HANDOFF_LIMIT:
+                        raise RuntimeError(
+                            f"partition {self.pid}: more than "
+                            f"{HANDOFF_LIMIT} handoffs at t={now} — "
+                            f"composite key space exhausted"
+                        )
+                    self._handoff_cnt = h + 1
+                    aseq = base | ARRIVAL_BIT | (self.pid << SRC_SHIFT) | h
+                    self.outbox.append(
+                        (now + rx_ns, aseq, sink.spine_id, sink.export(pkt))
+                    )
+                self.now = t_next
+                self._inline_ct += 1
+                return True
+        self.schedule_tx(tx_ns, done_fn, rx_ns, rx_fn, pkt)
+        return False
 
     # -- coordinator interface -------------------------------------------
 

@@ -1,0 +1,22 @@
+"""SIM013 fixture: event-queue draining smuggled outside the engine."""
+
+
+def fast_forward(sim):
+    eq = sim._equeue
+    while True:
+        entry = eq.pop()  # expect: SIM013
+        if entry is None:
+            break
+
+
+def drain_now(sim, handler):
+    run = sim._equeue.drain_run(limit=64)  # expect: SIM013
+    for entry in run:
+        handler(entry)
+
+
+def fine_pops(pending, free):
+    # ordinary container pops must stay silent
+    item = pending.pop()
+    frame = free.pop()
+    return item, frame

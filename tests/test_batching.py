@@ -1,0 +1,269 @@
+"""Batched hot path is bit-identical to the legacy per-event loop.
+
+The batched dispatcher (same-timestamp run draining, inline transmit
+trains, bulk sends) is a pure performance knob: ``batch=True`` and
+``batch=False`` must produce the same event sequence, the same clock,
+the same flow results and the same trace bytes on every backend.  Four
+layers of evidence:
+
+1. backend unit tests — ``drain_run``/``peek_floor`` honour their
+   contracts (run boundaries, limits, tombstone inclusion, floor
+   conservatism) on all three backends;
+2. engine fuzz — randomized re-entrant workloads with same-timestamp
+   clusters, mid-run cancellation and run()/until/max_events boundaries
+   landing *inside* runs execute identically batched and unbatched;
+3. end-to-end — every scheduling discipline and every backend yields
+   identical flow results with the batch knob on and off;
+4. goldens — the unbatched path reproduces the SHA-256 FCT pins of the
+   batched path, serial and partitioned (workers=2).
+"""
+
+import hashlib
+import json
+import random
+
+import pytest
+
+from repro.harness.config import ExperimentConfig
+from repro.harness.runner import run_experiment
+from repro.harness.schemes import SCHEDULERS
+from repro.obs import Tracer
+from repro.sim.engine import Simulator
+from repro.sim.equeue import BACKENDS, make_equeue
+from repro.sim.equeue.base import NEVER
+
+from tests.test_parallel import _GOLDEN_FCT, _REFERENCE, _digests
+
+ALL = sorted(BACKENDS)
+
+
+# -- layer 1: drain_run / peek_floor contracts -----------------------------
+
+
+def _mk(backend):
+    eq = make_equeue(backend)
+    cancelled = set()
+    eq.attach(cancelled)
+    return eq, cancelled
+
+
+@pytest.mark.parametrize("backend", ALL)
+class TestDrainRun:
+    def test_pops_whole_run_in_seq_order(self, backend):
+        eq, _ = _mk(backend)
+        entries = [(10, 1, None), (10, 2, None), (10, 3, None), (20, 4, None)]
+        for entry in entries:
+            eq.push(entry)
+        run = eq.drain_run(NEVER, 64)
+        assert run == entries[:3]
+        assert len(eq) == 1
+        assert eq.drain_run(NEVER, 64) == [entries[3]]
+        assert eq.drain_run(NEVER, 64) is None
+
+    def test_bound_leaves_later_entry_queued(self, backend):
+        eq, _ = _mk(backend)
+        eq.push((50, 1, None))
+        assert eq.drain_run(40, 64) is None
+        assert len(eq) == 1
+        assert eq.drain_run(50, 64) == [(50, 1, None)]
+
+    def test_limit_splits_run_without_reordering(self, backend):
+        eq, _ = _mk(backend)
+        entries = [(7, s, None) for s in range(1, 6)]
+        for entry in entries:
+            eq.push(entry)
+        assert eq.drain_run(NEVER, 2) == entries[:2]
+        # the remainder keeps the least timestamp: the next call is
+        # indistinguishable from the first having had a larger budget
+        assert eq.drain_run(NEVER, 64) == entries[2:]
+
+    def test_limit_below_one_still_makes_progress(self, backend):
+        eq, _ = _mk(backend)
+        eq.push((3, 1, None))
+        assert eq.drain_run(NEVER, 0) == [(3, 1, None)]
+
+    def test_tombstones_are_included_unless_cancelled_physically(
+        self, backend
+    ):
+        eq, cancelled = _mk(backend)
+        entries = [(10, 1, None), (10, 2, None), (10, 3, None)]
+        for entry in entries:
+            eq.push(entry)
+        victim = entries[1]
+        physical = eq.cancel(victim)
+        if not physical:
+            cancelled.add(victim[1])
+        expected = [e for e in entries if physical is False or e != victim]
+        assert eq.drain_run(NEVER, 64) == expected
+
+    def test_peek_floor_is_a_conservative_lower_bound(self, backend):
+        eq, cancelled = _mk(backend)
+        assert eq.peek_floor() == NEVER
+        eq.push((40, 1, None))
+        eq.push((25, 2, None))
+        assert eq.peek_floor() <= 25
+        # a tombstoned head may keep the floor conservative, but it must
+        # never exceed the true next live time
+        if not eq.cancel((25, 2, None)):
+            cancelled.add(2)
+        assert eq.peek_floor() <= 40
+        assert eq.pop() in {(25, 2, None), (40, 1, None)}
+
+
+# -- layer 2: batched-vs-unbatched engine fuzz -----------------------------
+
+
+def _fuzz_drive(backend, batch, seed):
+    """Randomized re-entrant workload; returns (log, now, executed).
+
+    Callbacks draw from the *same* seeded RNG, so the streams coincide
+    exactly when the execution orders do — any divergence between the
+    batched and unbatched dispatchers amplifies into a different log.
+    Same-timestamp clusters make multi-event runs, random cancellation
+    hits pending events mid-run, and zero-delay schedules extend the
+    run being drained.
+    """
+    sim = Simulator(equeue=backend, batch=batch)
+    rng = random.Random(seed)
+    log = []
+    handles = []
+    counter = [0]
+
+    def make(tag):
+        def fn():
+            log.append((sim.now, tag))
+            roll = rng.random()
+            if roll < 0.5:
+                # cluster: several events at one future timestamp
+                delay = rng.randrange(0, 40) * 10
+                for _ in range(rng.randrange(1, 5)):
+                    counter[0] += 1
+                    handles.append(sim.schedule(delay, make(counter[0])))
+            if roll < 0.3 and handles:
+                sim.cancel(handles.pop(rng.randrange(len(handles))))
+            if roll < 0.15:
+                # zero delay: lands inside the run currently draining
+                counter[0] += 1
+                handles.append(sim.schedule(0, make(counter[0])))
+        return fn
+
+    for _ in range(12):
+        counter[0] += 1
+        handles.append(sim.schedule(rng.randrange(0, 200), make(counter[0])))
+
+    # drive in segments whose until/max_events boundaries land inside
+    # runs; the boundary rng is separate so both modes see identical cuts
+    cuts = random.Random(seed + 9001)
+    while sim.pending:
+        if cuts.random() < 0.5:
+            sim.run(until=sim.now + cuts.randrange(0, 300))
+        else:
+            sim.run(max_events=cuts.randrange(1, 7))
+        log.append(("segment", sim.now, sim.events_executed))
+        if len(log) > 20000:  # pragma: no cover - runaway guard
+            break
+    return log, sim.now, sim.events_executed
+
+
+@pytest.mark.parametrize("backend", ALL)
+@pytest.mark.parametrize("seed", [2, 11, 23])
+def test_fuzz_batched_equals_unbatched(backend, seed):
+    batched = _fuzz_drive(backend, True, seed)
+    unbatched = _fuzz_drive(backend, False, seed)
+    assert batched == unbatched
+    assert batched[0], "fuzz produced no events"
+
+
+@pytest.mark.parametrize("seed", [2, 11])
+def test_fuzz_identical_across_backends(seed):
+    reference = _fuzz_drive("heap", True, seed)
+    for backend in ALL:
+        assert _fuzz_drive(backend, True, seed) == reference
+
+
+class TestBatchCounters:
+    def _cluster_sim(self, batch):
+        sim = Simulator(batch=batch)
+        for t in (10, 10, 10, 20, 20, 30):
+            sim.schedule(t, lambda: None)
+        sim.run()
+        return sim
+
+    def test_batched_loop_accounts_runs(self):
+        sim = self._cluster_sim(True)
+        assert sim.runs_drained == 3
+        assert sum(sim.run_hist) == sim.runs_drained
+        # 3-event and 2-event runs land in bucket bit_length(n); the
+        # lone 1-event run in bucket 1
+        assert sim.run_hist[1] == 1 and sim.run_hist[2] == 2
+
+    def test_unbatched_loop_keeps_counters_zero(self):
+        sim = self._cluster_sim(False)
+        assert sim.runs_drained == 0
+        assert sum(sim.run_hist) == 0
+        assert sim.trains == 0 and sim.train_pkts == 0
+
+
+# -- layers 3 and 4: end-to-end equivalence and goldens --------------------
+
+
+def _flow_key(result):
+    return [(f.id, f.fct_ns, f.completed) for f in result.flows]
+
+
+def _counters(result):
+    return {
+        name: getattr(result, name)
+        for name in (
+            "completed", "total", "timeouts", "drops", "marks",
+            "sim_ns", "events",
+        )
+    }
+
+
+@pytest.mark.parametrize("scheduler", sorted(SCHEDULERS))
+def test_every_discipline_is_batch_invariant(scheduler):
+    base = dict(
+        scheme="tcn", scheduler=scheduler, workload="cache",
+        load=0.4, n_flows=8, seed=3,
+    )
+    on = run_experiment(ExperimentConfig(**base))
+    off = run_experiment(ExperimentConfig(batch=False, **base))
+    assert _flow_key(on) == _flow_key(off)
+    assert _counters(on) == _counters(off)
+
+
+@pytest.mark.parametrize("backend", ALL)
+def test_every_backend_is_batch_invariant(backend):
+    base = dict(
+        scheme="mqecn", scheduler="sp_dwrr", workload="websearch",
+        load=0.5, n_flows=10, seed=6, equeue=backend,
+    )
+    on = run_experiment(ExperimentConfig(**base))
+    off = run_experiment(ExperimentConfig(batch=False, **base))
+    assert _flow_key(on) == _flow_key(off)
+    assert _counters(on) == _counters(off)
+
+
+def test_traced_equals_untraced_on_batched_path():
+    cfg = dict(
+        scheme="tcn", scheduler="dwrr", workload="cache",
+        load=0.5, n_flows=10, seed=4,
+    )
+    tracer = Tracer()
+    traced = run_experiment(ExperimentConfig(**cfg), tracer=tracer)
+    untraced = run_experiment(ExperimentConfig(**cfg))
+    assert tracer.events, "tracer saw nothing"
+    assert _flow_key(traced) == _flow_key(untraced)
+    assert _counters(traced) == _counters(untraced)
+
+
+def test_unbatched_partitioned_run_matches_batched_golden():
+    """workers=2 with --no-batch reproduces the serial batched FCT pin."""
+    tracer = Tracer(capacity=None)
+    result = run_experiment(
+        ExperimentConfig(workers=2, batch=False, **_REFERENCE),
+        tracer=tracer,
+    )
+    fct, _ = _digests(result, tracer)
+    assert fct == _GOLDEN_FCT
