@@ -29,8 +29,16 @@ Examples::
     # hot-path microbenchmarks; gate against the committed baselines
     python -m repro bench --out bench-out --compare benchmarks/baselines
 
-    # simlint: determinism/hot-path static analysis (SIM001..SIM010)
+    # simlint: determinism/hot-path static analysis (`--list-rules`
+    # prints the current rule set)
     python -m repro lint --format json
+
+    # re-lint only the files changed against a git base
+    python -m repro lint --changed origin/main
+
+    # run with every runtime invariant check armed (freelist poisoning,
+    # pop-order, partition-ownership); zero overhead when off
+    python -m repro run --topology leafspine --sanitize
 """
 
 from __future__ import annotations
@@ -127,6 +135,15 @@ def build_parser() -> argparse.ArgumentParser:
             "disable the batched hot path (same-timestamp run draining "
             "and inline transmit trains); pure performance knob — "
             "results are bit-identical either way"
+        ),
+    )
+    parser.add_argument(
+        "--sanitize", action="store_true",
+        help=(
+            "arm the runtime sanitizer: freelist use-after-release / "
+            "double-release poisoning, event-queue order checks, "
+            "partition-ownership assertions (see docs/STATIC_ANALYSIS.md; "
+            "also REPRO_SANITIZE=1)"
         ),
     )
     parser.add_argument(
@@ -490,6 +507,7 @@ def _config_from_args(args: argparse.Namespace) -> ExperimentConfig:
         equeue=args.equeue,
         workers=args.workers,
         batch=args.batch,
+        sanitize=args.sanitize,
     )
 
 

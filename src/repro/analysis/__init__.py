@@ -8,9 +8,18 @@ perfectly idiomatic Python: a ``time.time()`` in a control law, an iteration
 over a ``set`` of id-hashed objects, a module-level ``random`` draw.
 
 simlint is a stdlib-``ast`` rule engine that rejects those hazards at review
-time.  Rules live in :mod:`repro.analysis.rules` (SIM001..SIM010), the
-walking/suppression/baseline machinery in :mod:`repro.analysis.engine`, and
-the ``python -m repro lint`` entry point in :mod:`repro.analysis.cli`.
+time.  It runs in two layers: per-module rules walk one file's AST, and
+project rules get a whole-program view — a symbol table and call graph
+(:mod:`repro.analysis.symbols`) plus release/escape dataflow summaries
+(:mod:`repro.analysis.dataflow`) — to chase ownership across function and
+module boundaries.  Rules live in :mod:`repro.analysis.rules` (the current
+id span is :func:`rule_range`; never hardcode it), the walking/suppression/
+baseline machinery in :mod:`repro.analysis.engine`, and the ``python -m
+repro lint`` entry point in :mod:`repro.analysis.cli`.
+
+The same invariants are enforced *dynamically* by the runtime sanitizer
+(:mod:`repro.sanitize`) — the static layer proves what it can at review
+time, the sanitizer catches what slips through at run time.
 
 See docs/STATIC_ANALYSIS.md for the rule catalog, suppression pragmas, and
 the re-baselining workflow.
@@ -28,6 +37,7 @@ from repro.analysis.engine import (
     lint_paths,
     registered_rules,
     rule,
+    rule_range,
 )
 
 __all__ = [
@@ -42,4 +52,5 @@ __all__ = [
     "lint_paths",
     "registered_rules",
     "rule",
+    "rule_range",
 ]

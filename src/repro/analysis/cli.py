@@ -7,6 +7,8 @@ Examples::
     python -m repro lint                         # lint src/repro
     python -m repro lint --format json           # machine-readable report
     python -m repro lint src/repro/sched         # a subtree
+    python -m repro lint --changed               # only files changed vs HEAD
+    python -m repro lint --changed origin/main   # ... vs a merge base
     python -m repro lint --write-baseline        # grandfather current findings
     python -m repro lint --list-rules            # rule catalog
 """
@@ -15,6 +17,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import subprocess
 import sys
 from pathlib import Path
 from typing import List, Optional, Sequence
@@ -25,6 +28,7 @@ from repro.analysis.engine import (
     LintResult,
     lint_paths,
     registered_rules,
+    rule_range,
 )
 
 #: default baseline location, relative to the lint root
@@ -36,7 +40,8 @@ def build_parser() -> argparse.ArgumentParser:
         prog="python -m repro lint",
         description=(
             "simlint: project-specific static analysis enforcing simulator "
-            "determinism and hot-path discipline (rules SIM001..SIM010)."
+            "determinism, hot-path discipline and cross-module ownership "
+            f"(rules {rule_range()})."
         ),
     )
     parser.add_argument(
@@ -70,7 +75,34 @@ def build_parser() -> argparse.ArgumentParser:
         "--root", default=None, metavar="DIR",
         help="repo root for relative paths/fingerprints (default: cwd)",
     )
+    parser.add_argument(
+        "--changed", nargs="?", const="HEAD", default=None, metavar="BASE",
+        help=(
+            "lint only files changed against the given git base "
+            "(`git diff --name-only BASE`; default HEAD), filtered to "
+            "the lint targets — the pre-commit fast path"
+        ),
+    )
     return parser
+
+
+def _changed_files(root: Path, base: str) -> Optional[List[Path]]:
+    """Paths changed against ``base`` per git, or ``None`` on git failure.
+
+    Includes uncommitted work (``git diff`` against a commit covers the
+    worktree); deleted files are skipped by the existence filter in
+    :func:`main`.
+    """
+    proc = subprocess.run(
+        ["git", "-C", str(root), "diff", "--name-only", base],
+        capture_output=True,
+        text=True,
+    )
+    if proc.returncode != 0:
+        msg = proc.stderr.strip() or f"git diff --name-only {base} failed"
+        print(f"error: {msg}", file=sys.stderr)
+        return None
+    return [root / line for line in proc.stdout.splitlines() if line.strip()]
 
 
 def _default_paths(root: Path) -> List[Path]:
@@ -118,6 +150,27 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         if not p.exists():
             print(f"error: no such path: {p}", file=sys.stderr)
             return 2
+    if args.changed is not None:
+        changed = _changed_files(root, args.changed)
+        if changed is None:
+            return 2
+        # keep only Python files that still exist and fall under the
+        # lint targets (so fixture trees with seeded findings stay out)
+        scope = [t.resolve() for t in paths]
+        picked = []
+        for p in changed:
+            if p.suffix != ".py" or not p.is_file():
+                continue
+            rp = p.resolve()
+            if any(rp == s or s in rp.parents for s in scope):
+                picked.append(p)
+        if not picked:
+            print(
+                f"simlint: no changed Python files under the lint "
+                f"targets (base {args.changed})"
+            )
+            return 0
+        paths = picked
     select = None
     if args.select:
         select = [r.strip().upper() for r in args.select.split(",") if r.strip()]

@@ -1,0 +1,401 @@
+"""Intra-procedural dataflow for simlint's project rules.
+
+Two pieces live here, both consumed by the SIM015 freelist escape rule
+(``repro/analysis/rules.py``) on top of the :mod:`repro.analysis.symbols`
+call graph:
+
+* :func:`release_summaries` — a fixpoint over the resolved call graph
+  computing, per function, *which positional parameters may reach*
+  ``repro.net.packet.release``.  The seed fact is release itself
+  (parameter 0); one round of propagation makes ``Host.receive`` a
+  may-release function, two make anything that calls it one, and so on.
+  Only ``Name``-resolvable calls propagate — calls through opaque
+  receivers (``handler(pkt)`` where ``handler`` came out of a dict) are
+  invisible, which is a documented false-negative, never a false
+  positive.
+* :class:`FrameFlow` — a path-sensitive walker over one function body
+  tracking the *maybe-released* and *pooled-frame* name sets through
+  branches and loops.  Branch states are unioned (a frame released on
+  *some* path is maybe-released after the join); a branch that
+  terminates (``return``/``raise``/``continue``/``break``) does not
+  contribute its state, so the ubiquitous ``if err: release(p); return``
+  early-out stays clean.  Loops are walked twice so a release of a
+  loop-invariant name is seen by its own second iteration.
+
+The walker deliberately yields *events*, not findings — the rule layer
+owns message text and the division of labour with SIM010 (whose simpler
+same-statement-list scan already covers direct ``release(x); use(x)``
+sequences; events with ``direct``-in-the-same-list provenance are
+suppressed here so one bug never fires twice).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.analysis.symbols import Project
+
+#: the freelist API, by fully-qualified name (resolution is lexical, so
+#: these match however the import was aliased)
+RELEASE_QN = "repro.net.packet.release"
+MAKE_QNS = frozenset(
+    {"repro.net.packet.make_data", "repro.net.packet.make_ack"}
+)
+
+#: event kinds yielded by FrameFlow.analyze
+DOUBLE_RELEASE = "double-release"
+USE_AFTER = "use-after-release"
+STORE_ESCAPE = "store-escape"
+
+#: one event: (kind, offending AST node, frame name, via-callee or "")
+Event = Tuple[str, ast.AST, str, str]
+
+
+def _param_indices(node: ast.FunctionDef, is_method: bool) -> Dict[str, int]:
+    """Map parameter names to call-site positional indices.
+
+    For methods the leading ``self`` is dropped so indices line up with
+    ``self.m(a0, a1)`` call sites.
+    """
+    args = [a.arg for a in node.args.args]
+    if is_method and args and args[0] in ("self", "cls"):
+        args = args[1:]
+    return {name: i for i, name in enumerate(args)}
+
+
+def release_summaries(project: Project) -> Dict[str, Set[int]]:
+    """``qualname -> set of positional indices that may be released``.
+
+    Computed as a fixpoint over resolved call edges; cached on the
+    project (one lint run builds it at most once).
+    """
+    cached = getattr(project, "_release_summaries", None)
+    if cached is not None:
+        return cached
+    summaries: Dict[str, Set[int]] = {RELEASE_QN: {0}}
+    params: Dict[str, Dict[str, int]] = {}
+    for qn, info in project.functions.items():
+        params[qn] = _param_indices(info.node, info.class_name is not None)
+        summaries.setdefault(qn, set())
+
+    changed = True
+    while changed:
+        changed = False
+        for qn, info in project.functions.items():
+            own = summaries[qn]
+            own_params = params[qn]
+            for node in ast.walk(info.node):
+                if not isinstance(node, ast.Call):
+                    continue
+                target = project.resolve_callable(
+                    info.module, info.class_name, node.func
+                )
+                if target is None:
+                    continue
+                callee = summaries.get(target)
+                if not callee:
+                    continue
+                callee_params = params.get(target, {})
+                for i, arg in enumerate(node.args):
+                    if i in callee and isinstance(arg, ast.Name):
+                        idx = own_params.get(arg.id)
+                        if idx is not None and idx not in own:
+                            own.add(idx)
+                            changed = True
+                for kw in node.keywords:
+                    if kw.arg is None or not isinstance(kw.value, ast.Name):
+                        continue
+                    if callee_params.get(kw.arg) in callee:
+                        idx = own_params.get(kw.value.id)
+                        if idx is not None and idx not in own:
+                            own.add(idx)
+                            changed = True
+    project._release_summaries = summaries  # type: ignore[attr-defined]
+    return summaries
+
+
+# provenance of a maybe-released name: how/where the release happened
+_DIRECT = "direct"  # a literal release(x) call; second element = stmt-list id
+_VIA_CALL = "call"  # released inside a resolved callee
+
+
+class FrameFlow:
+    """Path-sensitive frame tracking over one function body."""
+
+    def __init__(
+        self, project: Project, module: str, class_name: Optional[str]
+    ) -> None:
+        self.project = project
+        self.module = module
+        self.class_name = class_name
+        self.summaries = release_summaries(project)
+        self.events: List[Event] = []
+        self._seen: Set[Tuple[str, int]] = set()  # dedupe across loop passes
+
+    # -- public entry ----------------------------------------------------
+
+    def analyze(self, fn: ast.FunctionDef) -> List[Event]:
+        self.events = []
+        self._seen = set()
+        state = _State()
+        self._stmts(fn.body, state)
+        return self.events
+
+    # -- event emission --------------------------------------------------
+
+    def _emit(self, kind: str, node: ast.AST, name: str, via: str) -> None:
+        key = (kind, id(node))
+        if key not in self._seen:
+            self._seen.add(key)
+            self.events.append((kind, node, name, via))
+
+    # -- resolution helpers ----------------------------------------------
+
+    def _resolve(self, call: ast.Call) -> Optional[str]:
+        return self.project.resolve_callable(
+            self.module, self.class_name, call.func
+        )
+
+    def _release_indices(self, call: ast.Call) -> Tuple[Set[int], bool, str]:
+        """(positional indices released, is-direct-release, callee label)."""
+        target = self._resolve(call)
+        if target == RELEASE_QN:
+            return {0}, True, ""
+        if target is not None:
+            indices = self.summaries.get(target, set())
+            if indices:
+                return set(indices), False, target
+        return set(), False, ""
+
+    def _is_make(self, node: ast.AST) -> bool:
+        return (
+            isinstance(node, ast.Call) and self._resolve(node) in MAKE_QNS
+        )
+
+    # -- the walker ------------------------------------------------------
+
+    def _stmts(self, stmts: List[ast.stmt], state: "_State") -> bool:
+        """Process a statement list; True when the list falls through."""
+        list_id = id(stmts)
+        for stmt in stmts:
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                 ast.ClassDef)):
+                continue  # nested scopes are analyzed on their own
+            if isinstance(stmt, (ast.Return, ast.Raise)):
+                if getattr(stmt, "value", None) is not None:
+                    self._uses(stmt.value, state, list_id)
+                if isinstance(stmt, ast.Raise) and stmt.exc is not None:
+                    self._uses(stmt.exc, state, list_id)
+                return False
+            if isinstance(stmt, (ast.Break, ast.Continue)):
+                return False
+            if isinstance(stmt, ast.Expr):
+                self._expr(stmt.value, state, list_id)
+            elif isinstance(stmt, ast.Assign):
+                self._assign(stmt, state, list_id)
+            elif isinstance(stmt, ast.AnnAssign):
+                if stmt.value is not None:
+                    self._expr(stmt.value, state, list_id)
+                    if isinstance(stmt.target, ast.Name):
+                        state.bind(stmt.target.id, self._is_make(stmt.value))
+            elif isinstance(stmt, ast.AugAssign):
+                self._uses(stmt.value, state, list_id)
+                self._uses(stmt.target, state, list_id)
+            elif isinstance(stmt, ast.If):
+                self._uses(stmt.test, state, list_id)
+                s_then = state.copy()
+                s_else = state.copy()
+                fall_then = self._stmts(stmt.body, s_then)
+                fall_else = self._stmts(stmt.orelse, s_else)
+                state.replace_with_merge(
+                    (s_then if fall_then else None),
+                    (s_else if fall_else else None),
+                )
+            elif isinstance(stmt, (ast.For, ast.AsyncFor)):
+                self._uses(stmt.iter, state, list_id)
+                body_state = state.copy()
+                targets = _target_names(stmt.target)
+                for _pass in (1, 2):  # second pass sees loop-carried state
+                    for t in targets:
+                        body_state.clear(t)
+                    self._stmts(stmt.body, body_state)
+                state.union(body_state)  # zero-or-more iterations
+                self._stmts(stmt.orelse, state)
+            elif isinstance(stmt, ast.While):
+                self._uses(stmt.test, state, list_id)
+                body_state = state.copy()
+                for _pass in (1, 2):
+                    self._stmts(stmt.body, body_state)
+                state.union(body_state)
+                self._stmts(stmt.orelse, state)
+            elif isinstance(stmt, (ast.With, ast.AsyncWith)):
+                for item in stmt.items:
+                    self._uses(item.context_expr, state, list_id)
+                if not self._stmts(stmt.body, state):
+                    return False
+            elif isinstance(stmt, ast.Try):
+                pre = state.copy()
+                fall = self._stmts(stmt.body, state)
+                handler_states = []
+                for handler in stmt.handlers:
+                    hs = pre.copy()
+                    if self._stmts(handler.body, hs):
+                        handler_states.append(hs)
+                if fall:
+                    self._stmts(stmt.orelse, state)
+                for hs in handler_states:
+                    state.union(hs)
+                self._stmts(stmt.finalbody, state)
+            else:
+                self._uses(stmt, state, list_id)
+        return True
+
+    def _assign(self, stmt: ast.Assign, state: "_State", list_id: int) -> None:
+        self._expr(stmt.value, state, list_id)
+        pooled_value = self._is_make(stmt.value) or (
+            isinstance(stmt.value, ast.Name) and state.is_pooled(stmt.value.id)
+        )
+        for target in stmt.targets:
+            if isinstance(target, ast.Name):
+                state.bind(target.id, pooled_value)
+            elif isinstance(target, (ast.Attribute, ast.Subscript)):
+                # storing a pooled frame into an attribute or container:
+                # remember the alias so a later release() is flagged
+                if isinstance(stmt.value, ast.Name) and state.is_pooled(
+                    stmt.value.id
+                ):
+                    state.stored[stmt.value.id] = target
+                self._uses(target.value, state, list_id)
+
+    def _expr(self, node: ast.AST, state: "_State", list_id: int) -> None:
+        if isinstance(node, ast.Call):
+            self._call(node, state, list_id)
+        else:
+            self._uses(node, state, list_id)
+
+    def _call(self, call: ast.Call, state: "_State", list_id: int) -> None:
+        indices, direct, via = self._release_indices(call)
+        # container.append(pooled) and friends: record the escape alias
+        func = call.func
+        if (
+            not indices
+            and isinstance(func, ast.Attribute)
+            and func.attr in ("append", "add", "appendleft", "insert", "push")
+        ):
+            for arg in call.args:
+                if isinstance(arg, ast.Name) and state.is_pooled(arg.id):
+                    state.stored[arg.id] = call
+        for i, arg in enumerate(call.args):
+            if i in indices and isinstance(arg, ast.Name):
+                name = arg.id
+                prov = state.released.get(name)
+                if prov is not None:
+                    if not (direct and prov == (_DIRECT, list_id)):
+                        self._emit(DOUBLE_RELEASE, arg, name, via or prov[2])
+                elif name in state.stored:
+                    self._emit(STORE_ESCAPE, arg, name, via)
+                    state.released[name] = _prov(direct, list_id, via)
+                else:
+                    state.released[name] = _prov(direct, list_id, via)
+            else:
+                self._uses(arg, state, list_id)
+        for kw in call.keywords:
+            self._uses(kw.value, state, list_id)
+        # nested calls / receiver expression
+        if isinstance(func, ast.Attribute):
+            self._uses(func.value, state, list_id)
+        elif not isinstance(func, ast.Name):
+            self._uses(func, state, list_id)
+
+    def _uses(self, node: ast.AST, state: "_State", list_id: int) -> None:
+        """Flag Loads of maybe-released names; one event per name."""
+        for sub in ast.walk(node):
+            if isinstance(sub, (ast.Lambda, ast.FunctionDef)):
+                continue
+            if isinstance(sub, ast.Call):
+                # a nested releasing call inside a larger expression still
+                # updates state (rare, but send(release(p)) style code
+                # should not silently reset)
+                indices, direct, via = self._release_indices(sub)
+                for i, arg in enumerate(sub.args):
+                    if i in indices and isinstance(arg, ast.Name):
+                        state.released.setdefault(
+                            arg.id, _prov(direct, list_id, via)
+                        )
+            if (
+                isinstance(sub, ast.Name)
+                and isinstance(sub.ctx, ast.Load)
+                and sub.id in state.released
+            ):
+                prov = state.released[sub.id]
+                if prov[0] == _DIRECT and prov[1] == list_id:
+                    continue  # SIM010's same-statement-list territory
+                self._emit(USE_AFTER, sub, sub.id, prov[2])
+                del state.released[sub.id]
+
+
+def _prov(direct: bool, list_id: int, via: str) -> Tuple[str, int, str]:
+    return (_DIRECT, list_id, via) if direct else (_VIA_CALL, 0, via)
+
+
+def _target_names(target: ast.AST) -> List[str]:
+    return [
+        n.id for n in ast.walk(target) if isinstance(n, ast.Name)
+    ]
+
+
+class _State:
+    """The walker's abstract state: released / pooled / stored names."""
+
+    __slots__ = ("released", "pooled", "stored")
+
+    def __init__(self) -> None:
+        self.released: Dict[str, Tuple[str, int, str]] = {}
+        self.pooled: Set[str] = set()
+        self.stored: Dict[str, ast.AST] = {}
+
+    def copy(self) -> "_State":
+        s = _State()
+        s.released = dict(self.released)
+        s.pooled = set(self.pooled)
+        s.stored = dict(self.stored)
+        return s
+
+    def bind(self, name: str, pooled: bool) -> None:
+        """A fresh assignment to ``name`` re-validates it."""
+        self.released.pop(name, None)
+        self.stored.pop(name, None)
+        if pooled:
+            self.pooled.add(name)
+        else:
+            self.pooled.discard(name)
+
+    def clear(self, name: str) -> None:
+        self.released.pop(name, None)
+        self.stored.pop(name, None)
+        self.pooled.discard(name)
+
+    def is_pooled(self, name: str) -> bool:
+        return name in self.pooled
+
+    def union(self, other: "_State") -> None:
+        for name, prov in other.released.items():
+            self.released.setdefault(name, prov)
+        self.pooled |= other.pooled
+        for name, node in other.stored.items():
+            self.stored.setdefault(name, node)
+
+    def replace_with_merge(
+        self, a: Optional["_State"], b: Optional["_State"]
+    ) -> None:
+        """After an if/else: adopt the union of the falling-through arms."""
+        merged = a if a is not None else b
+        if merged is None:
+            return  # both arms terminated: unreachable after the If
+        if a is not None and b is not None:
+            merged = a
+            merged.union(b)
+        self.released = merged.released
+        self.pooled = merged.pooled
+        self.stored = merged.stored

@@ -83,22 +83,38 @@ class Finding(NamedTuple):
         return f"{self.path}:{self.line}:{self.col + 1}"
 
 
+#: rule scopes: module rules see one file, project rules see the whole run
+SCOPE_MODULE = "module"
+SCOPE_PROJECT = "project"
+
+
 class Rule(NamedTuple):
-    """A registered rule: metadata plus its check function."""
+    """A registered rule: metadata plus its check function.
+
+    ``scope`` selects the check signature: ``"module"`` rules are called
+    as ``check(mod)``, ``"project"`` rules as ``check(mod, project)``
+    with the :class:`repro.analysis.symbols.Project` built over every
+    module in the lint run.
+    """
 
     id: str
     name: str
     severity: str
     rationale: str
-    check: Callable[["ModuleInfo"], Iterable[Finding]]
+    check: Callable[..., Iterable[Finding]]
+    scope: str = SCOPE_MODULE
 
 
 _REGISTRY: Dict[str, Rule] = {}
 
 
 def rule(
-    id: str, name: str, severity: str = SEVERITY_ERROR, rationale: str = ""
-) -> Callable[[Callable[["ModuleInfo"], Iterable[Finding]]], Callable]:
+    id: str,
+    name: str,
+    severity: str = SEVERITY_ERROR,
+    rationale: str = "",
+    scope: str = SCOPE_MODULE,
+) -> Callable[[Callable[..., Iterable[Finding]]], Callable]:
     """Class/function decorator registering a simlint rule.
 
     >>> @rule("SIM999", "demo", rationale="docs example")
@@ -109,10 +125,12 @@ def rule(
     >>> _ = _REGISTRY.pop("SIM999")
     """
 
-    def decorate(fn: Callable[["ModuleInfo"], Iterable[Finding]]) -> Callable:
+    def decorate(fn: Callable[..., Iterable[Finding]]) -> Callable:
         if id in _REGISTRY:
             raise ValueError(f"duplicate rule id {id}")
-        _REGISTRY[id] = Rule(id, name, severity, rationale, fn)
+        if scope not in (SCOPE_MODULE, SCOPE_PROJECT):
+            raise ValueError(f"unknown rule scope {scope!r}")
+        _REGISTRY[id] = Rule(id, name, severity, rationale, fn, scope)
         return fn
 
     return decorate
@@ -124,6 +142,21 @@ def registered_rules() -> Dict[str, Rule]:
     from repro.analysis import rules as _rules  # noqa: F401
 
     return dict(_REGISTRY)
+
+
+def rule_range() -> str:
+    """The registry-derived id span, e.g. ``"SIM001..SIM017"``.
+
+    User-facing text (CLI help, docs pointers) must use this instead of a
+    hardcoded span so the advertised range can never rot as rules are
+    added (it did once: "SIM001..SIM010" survived three rule additions).
+    """
+    ids = sorted(rid for rid in registered_rules() if rid != PRAGMA_RULE_ID)
+    if not ids:
+        return "none"
+    if len(ids) == 1:
+        return ids[0]
+    return f"{ids[0]}..{ids[-1]}"
 
 
 class Pragma(NamedTuple):
@@ -465,6 +498,9 @@ def lint_paths(
     findings: List[Finding] = []
     parse_errors: List[Finding] = []
     files = 0
+    # phase 1: parse everything (project rules need the full module set
+    # before any rule runs)
+    mods: List[ModuleInfo] = []
     for path in iter_python_files(paths):
         files += 1
         resolved = path.resolve()
@@ -473,7 +509,7 @@ def lint_paths(
         except ValueError:
             rel = path.as_posix()
         try:
-            mod = ModuleInfo(path, rel, path.read_text())
+            mods.append(ModuleInfo(path, rel, path.read_text()))
         except SyntaxError as exc:
             parse_errors.append(
                 Finding(
@@ -486,10 +522,22 @@ def lint_paths(
                     (exc.text or "").strip(),
                 )
             )
-            continue
+    # phase 2: symbol table + call graph, then every rule per module.
+    # Findings of project rules are anchored in the module being checked,
+    # so pragma application (which is per-module, per-line) gives every
+    # cross-module finding exactly one suppression site: its anchor line.
+    project = None
+    if any(r.scope == SCOPE_PROJECT for r in active):
+        from repro.analysis.symbols import build_project
+
+        project = build_project(mods)
+    for mod in mods:
         raw: List[Finding] = []
         for r in active:
-            raw.extend(r.check(mod))
+            if r.scope == SCOPE_PROJECT:
+                raw.extend(r.check(mod, project))
+            else:
+                raw.extend(r.check(mod))
         raw.sort(key=lambda f: (f.line, f.col, f.rule))
         kept, hygiene = _apply_pragmas(mod, raw)
         findings.extend(kept)

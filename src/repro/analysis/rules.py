@@ -1,4 +1,4 @@
-"""The built-in simlint rules, SIM001..SIM013.
+"""The built-in simlint rules (run ``repro lint --list-rules`` for the span).
 
 Each rule encodes one project-specific invariant that a generic linter
 cannot express — they are all, one way or another, about keeping the
@@ -18,14 +18,25 @@ suppressed at the legitimately-impure sites with justified pragmas.
 from __future__ import annotations
 
 import ast
-from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple
+from typing import (
+    Dict,
+    Iterator,
+    List,
+    NamedTuple,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+)
 
 from repro.analysis.engine import (
+    SCOPE_PROJECT,
     SEVERITY_WARNING,
     Finding,
     ModuleInfo,
     rule,
 )
+from repro.analysis.symbols import Project
 
 #: packages under ``repro.`` whose code affects simulated behaviour
 SIM_PACKAGES = (
@@ -777,9 +788,178 @@ def check_freelist_discipline(mod: ModuleInfo) -> Iterator[Finding]:
                     break
 
 
-# -- SIM011: heapq confinement ---------------------------------------------
+# -- API confinement (SIM011/SIM012/SIM013/SIM017) --------------------------
+#
+# The confinement rules share one declarative table: each entry names a
+# confined API, where it may be used, and the one-line contract the
+# confinement protects.  SIM011/SIM012/SIM013 keep their historical ids
+# (and fixtures/baselines keyed on them); SIM017 carries the entries added
+# by the whole-program pass, whose call detection resolves names through
+# the project symbol table so aliased imports cannot dodge it.
 
 _EQUEUE_PKG = ("repro", "sim", "equeue")
+_ENGINE_PKG = ("repro", "sim", "engine")
+_PARALLEL_PKG = ("repro", "sim", "parallel")
+_SWEEP_PKG = ("repro", "harness", "sweep")
+_NET_PKG = ("repro", "net")
+_TRANSPORT_PKG = ("repro", "transport")
+
+
+class Confinement(NamedTuple):
+    """One confined API: what is restricted, and where it is legitimate."""
+
+    rule_id: str
+    #: "import"      — the whole module is confined (import / from-import)
+    #: "from-import" — only ``names`` imported from ``api`` are confined
+    #: "call"        — method calls named in ``names`` are confined
+    kind: str
+    api: str  # module dotted name ("" for call kind)
+    names: Tuple[str, ...]  # confined names (empty = the whole module)
+    allowed: Tuple[Tuple[str, ...], ...]  # package prefixes allowed to use it
+    #: call kind only: "equeue-like" restricts to receivers named like an
+    #: event queue (name contains "equeue" or is exactly "eq")
+    receiver: str
+    #: call kind only: flag only zero-argument calls
+    no_args_only: bool
+    message: str
+
+
+CONFINEMENTS: Tuple[Confinement, ...] = (
+    Confinement(
+        "SIM011", "import", "heapq", (), (_EQUEUE_PKG,), "", False,
+        "heapq imported outside repro.sim.equeue — event "
+        "ordering belongs to the pluggable queue backends",
+    ),
+    Confinement(
+        "SIM012", "import", "multiprocessing", (),
+        (_SWEEP_PKG, _PARALLEL_PKG), "", False,
+        "multiprocessing imported outside the sweep/parallel "
+        "drivers — process fan-out belongs to repro.harness.sweep "
+        "and repro.sim.parallel",
+    ),
+    Confinement(
+        "SIM013", "call", "", ("drain_run",),
+        (_ENGINE_PKG, _EQUEUE_PKG), "", False,
+        "drain_run() called outside repro.sim.engine and "
+        "repro.sim.equeue — run draining (tombstones, clock "
+        "rule, batch accounting) belongs to Simulator.run",
+    ),
+    Confinement(
+        "SIM013", "call", "", ("pop",),
+        (_ENGINE_PKG, _EQUEUE_PKG), "equeue-like", True,
+        "{receiver}.pop() outside repro.sim.engine and "
+        "repro.sim.equeue — event consumption belongs to "
+        "the engine run loop",
+    ),
+    Confinement(
+        "SIM017", "import", "gc", (), (_ENGINE_PKG,), "", False,
+        "gc control outside repro.sim.engine — the run loop owns the "
+        "collector pause window; a second owner desynchronizes the "
+        "gc.enable/disable pairing the engine guarantees",
+    ),
+    Confinement(
+        "SIM017", "from-import", "repro.sim.equeue.heap",
+        ("heappush", "heappop", "heapreplace", "heapify"),
+        (_EQUEUE_PKG, _ENGINE_PKG, _PARALLEL_PKG), "", False,
+        "raw heap primitives of the event-queue backend used outside the "
+        "engine/equeue/parallel core — pushing entries behind the "
+        "backends' backs bypasses the (time, seq) contract and the "
+        "tombstone bookkeeping",
+    ),
+    Confinement(
+        "SIM017", "from-import", "repro.net.packet",
+        ("make_data", "make_ack", "make_data_run", "release"),
+        (_NET_PKG, _TRANSPORT_PKG), "", False,
+        "packet freelist constructors/release used outside repro.net and "
+        "repro.transport — frame lifetime (and the sanitizer's poisoning "
+        "protocol) is the endpoint layer's contract",
+    ),
+    Confinement(
+        "SIM017", "from-import", "repro.net.boundary",
+        ("BoundaryMux", "import_packet"),
+        (_NET_PKG, _PARALLEL_PKG), "", False,
+        "partition boundary plumbing used outside repro.net and "
+        "repro.sim.parallel — cross-partition handoff must flow through "
+        "the coordinator's insert_arrival protocol",
+    ),
+)
+
+
+def _module_allowed(
+    mod: ModuleInfo, allowed: Tuple[Tuple[str, ...], ...]
+) -> bool:
+    parts = mod.package_parts()
+    return any(parts[: len(pkg)] == pkg for pkg in allowed)
+
+
+def _confinement_hits(
+    mod: ModuleInfo, entries: Sequence[Confinement]
+) -> Iterator[Tuple[Confinement, Finding]]:
+    """Run the import/call entries of the table against one module,
+    yielding ``(entry, finding)`` pairs so callers can track which
+    entries already reported (SIM017 uses this to dedupe its
+    call-graph pass against the import pass)."""
+    live = [e for e in entries if not _module_allowed(mod, e.allowed)]
+    if not live:
+        return
+    imports = [e for e in live if e.kind == "import"]
+    from_imports = [e for e in live if e.kind == "from-import"]
+    calls = [e for e in live if e.kind == "call"]
+    for node in ast.walk(mod.tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                for e in imports:
+                    if alias.name == e.api or alias.name.startswith(e.api + "."):
+                        yield e, mod.finding(e.rule_id, node, e.message)
+        elif isinstance(node, ast.ImportFrom):
+            module = node.module or ""
+            for e in imports:
+                if module == e.api or module.startswith(e.api + "."):
+                    yield e, mod.finding(e.rule_id, node, e.message)
+            for e in from_imports:
+                if module != e.api:
+                    continue
+                hit = sorted(
+                    {a.name for a in node.names} & set(e.names)
+                )
+                if hit:
+                    yield e, mod.finding(e.rule_id, node, e.message)
+        elif isinstance(node, ast.Call) and calls:
+            func = node.func
+            if not isinstance(func, ast.Attribute):
+                continue
+            for e in calls:
+                if func.attr not in e.names:
+                    continue
+                if e.no_args_only and (node.args or node.keywords):
+                    continue
+                if e.receiver == "equeue-like":
+                    recv = func.value
+                    if isinstance(recv, ast.Attribute):
+                        name = recv.attr
+                    elif isinstance(recv, ast.Name):
+                        name = recv.id
+                    else:
+                        continue
+                    if "equeue" not in name and name != "eq":
+                        continue
+                    yield e, mod.finding(
+                        e.rule_id, node, e.message.format(receiver=name)
+                    )
+                else:
+                    yield e, mod.finding(e.rule_id, node, e.message)
+
+
+def _confinement_findings(
+    mod: ModuleInfo, entries: Sequence[Confinement]
+) -> Iterator[Finding]:
+    """Findings-only view of :func:`_confinement_hits`."""
+    for _, finding in _confinement_hits(mod, entries):
+        yield finding
+
+
+def _table_entries(rule_id: str) -> Tuple[Confinement, ...]:
+    return tuple(e for e in CONFINEMENTS if e.rule_id == rule_id)
 
 
 @rule(
@@ -798,34 +978,10 @@ def check_heapq_confined(mod: ModuleInfo) -> Iterator[Finding]:
     scheduling API so it runs identically on all backends.  Non-event
     priority queues (e.g. a packet-ranking scheduler) are legitimate —
     suppress with a pragma naming the ordering domain."""
-    parts = mod.package_parts()
-    if parts[: len(_EQUEUE_PKG)] == _EQUEUE_PKG:
-        return
-    for node in ast.walk(mod.tree):
-        if isinstance(node, ast.Import):
-            for alias in node.names:
-                if alias.name == "heapq" or alias.name.startswith("heapq."):
-                    yield mod.finding(
-                        "SIM011",
-                        node,
-                        "heapq imported outside repro.sim.equeue — event "
-                        "ordering belongs to the pluggable queue backends",
-                    )
-        elif isinstance(node, ast.ImportFrom) and node.module == "heapq":
-            yield mod.finding(
-                "SIM011",
-                node,
-                "heapq imported outside repro.sim.equeue — event "
-                "ordering belongs to the pluggable queue backends",
-            )
+    yield from _confinement_findings(mod, _table_entries("SIM011"))
 
 
 # -- SIM012: multiprocessing confinement ------------------------------------
-
-_MP_PKGS = (
-    ("repro", "harness", "sweep"),
-    ("repro", "sim", "parallel"),
-)
 
 
 @rule(
@@ -845,42 +1001,10 @@ def check_multiprocessing_confined(mod: ModuleInfo) -> Iterator[Finding]:
     through those drivers (``run_sweep`` / ``cfg.workers``), which are the
     components tested for serial-equivalent results.  A genuinely new
     driver belongs next to them, not behind a pragma."""
-    parts = mod.package_parts()
-    for allowed in _MP_PKGS:
-        if parts[: len(allowed)] == allowed:
-            return
-    for node in ast.walk(mod.tree):
-        if isinstance(node, ast.Import):
-            for alias in node.names:
-                if alias.name == "multiprocessing" or alias.name.startswith(
-                    "multiprocessing."
-                ):
-                    yield mod.finding(
-                        "SIM012",
-                        node,
-                        "multiprocessing imported outside the sweep/"
-                        "parallel drivers — process fan-out belongs to "
-                        "repro.harness.sweep and repro.sim.parallel",
-                    )
-        elif isinstance(node, ast.ImportFrom) and (
-            node.module == "multiprocessing"
-            or (node.module or "").startswith("multiprocessing.")
-        ):
-            yield mod.finding(
-                "SIM012",
-                node,
-                "multiprocessing imported outside the sweep/parallel "
-                "drivers — process fan-out belongs to repro.harness.sweep "
-                "and repro.sim.parallel",
-            )
+    yield from _confinement_findings(mod, _table_entries("SIM012"))
 
 
 # -- SIM013: event-queue draining confinement --------------------------------
-
-_EQ_DRAIN_PKGS = (
-    ("repro", "sim", "engine"),
-    ("repro", "sim", "equeue"),
-)
 
 
 @rule(
@@ -903,37 +1027,526 @@ def check_equeue_drain_confined(mod: ModuleInfo) -> Iterator[Finding]:
     named like an event queue (name contains ``equeue`` or is exactly
     ``eq``), so everyday list/deque/dict pops stay silent.  A genuinely
     new run driver belongs next to the engine, not behind a pragma."""
-    parts = mod.package_parts()
-    for allowed in _EQ_DRAIN_PKGS:
-        if parts[: len(allowed)] == allowed:
-            return
-    for node in ast.walk(mod.tree):
-        if not isinstance(node, ast.Call):
+    yield from _confinement_findings(mod, _table_entries("SIM013"))
+
+
+# -- SIM014: partition-ownership races (project scope) -----------------------
+
+#: the coordinator-facing surface of a partition: the only methods other
+#: code may invoke on a partition it does not own (the round protocol)
+_PARTITION_API = frozenset(
+    {
+        "insert_arrival",
+        "drain_outbox",
+        "register_boundary",
+        "run",
+        "peek_time",
+        "schedule_many",
+        "apply_and_run",
+        "initial_report",
+        "final",
+    }
+)
+
+_PARTITION_BASE = "PartitionSimulator"
+
+
+def _is_partition_class(
+    project: Project, qualname: Optional[str], depth: int = 0
+) -> bool:
+    """Is/wraps a PartitionSimulator (one wrapper level, e.g. _Partition)."""
+    if qualname is None:
+        return False
+    if project.is_subclass_of(qualname, _PARTITION_BASE):
+        return True
+    info = project.classes.get(qualname)
+    if info is not None and depth < 1:
+        init = info.methods.get("__init__")
+        if init is not None:
+            for callee in project.calls.get(init, ()):
+                if _is_partition_class(project, callee, depth + 1):
+                    return True
+    return False
+
+
+def _chain_key(expr: ast.AST) -> Optional[str]:
+    """``parts`` -> "parts"; ``self._parts`` -> "self._parts"; else None."""
+    if isinstance(expr, ast.Name):
+        return expr.id
+    if (
+        isinstance(expr, ast.Attribute)
+        and isinstance(expr.value, ast.Name)
+        and expr.value.id == "self"
+    ):
+        return f"self.{expr.attr}"
+    return None
+
+
+def _partition_collections_in(
+    project: Project,
+    module: str,
+    class_name: Optional[str],
+    nodes: Iterator[ast.AST],
+) -> Set[str]:
+    """Chain keys of names bound to collections of partition objects."""
+    found: Set[str] = set()
+    for node in nodes:
+        if not isinstance(node, (ast.Assign, ast.AnnAssign)):
             continue
-        func = node.func
-        if not isinstance(func, ast.Attribute):
+        value = node.value
+        if value is None:
             continue
-        if func.attr == "drain_run":
-            yield mod.finding(
-                "SIM013",
-                node,
-                "drain_run() called outside repro.sim.engine and "
-                "repro.sim.equeue — run draining (tombstones, clock "
-                "rule, batch accounting) belongs to Simulator.run",
+        elements: List[ast.expr] = []
+        if isinstance(value, (ast.ListComp, ast.SetComp, ast.GeneratorExp)):
+            elements.append(value.elt)
+        elif isinstance(value, ast.DictComp):
+            elements.append(value.value)
+        elif isinstance(value, (ast.List, ast.Tuple)):
+            elements.extend(value.elts)
+        if not any(
+            isinstance(e, ast.Call)
+            and _is_partition_class(
+                project,
+                project.resolve_callable(module, class_name, e.func),
             )
-        elif func.attr == "pop" and not node.args and not node.keywords:
-            recv = func.value
-            if isinstance(recv, ast.Attribute):
-                name = recv.attr
-            elif isinstance(recv, ast.Name):
-                name = recv.id
-            else:
-                continue
-            if "equeue" in name or name == "eq":
-                yield mod.finding(
-                    "SIM013",
-                    node,
-                    f"{name}.pop() outside repro.sim.engine and "
-                    "repro.sim.equeue — event consumption belongs to "
-                    "the engine run loop",
+            for e in elements
+        ):
+            continue
+        targets = (
+            node.targets if isinstance(node, ast.Assign) else [node.target]
+        )
+        for target in targets:
+            key = _chain_key(target)
+            if key is not None:
+                found.add(key)
+    return found
+
+
+def _elem_rooted(
+    expr: ast.AST, collections: Set[str], elems: Set[str]
+) -> bool:
+    """Does an attribute/subscript chain root at a partition element?"""
+    cur = expr
+    subscripted = False
+    while True:
+        if isinstance(cur, ast.Attribute):
+            cur = cur.value
+        elif isinstance(cur, ast.Subscript):
+            key = _chain_key(cur.value)
+            if key is not None and key in collections:
+                return True
+            subscripted = True
+            cur = cur.value
+        else:
+            break
+    if subscripted:
+        return False
+    if isinstance(expr, ast.Name):
+        return expr.id in elems
+    return isinstance(cur, ast.Name) and cur.id in elems and cur.id != "self"
+
+
+def _iter_collection_key(it: ast.AST) -> Optional[str]:
+    """The chain key iterated by a for loop (``coll`` / ``coll.values()``)."""
+    if isinstance(it, ast.Call) and isinstance(it.func, ast.Attribute):
+        if it.func.attr in ("values", "itervalues") and not it.args:
+            return _chain_key(it.func.value)
+        return None
+    return _chain_key(it)
+
+
+@rule(
+    "SIM014",
+    "partition-ownership-race",
+    scope=SCOPE_PROJECT,
+    rationale=(
+        "Each partition owns its event queue and node state; the only "
+        "sanctioned cross-partition channel is the BoundaryMux export/"
+        "insert_arrival handoff the coordinator replays at barrier "
+        "rounds.  Direct mutation of another partition's internals is a "
+        "race against its event loop and breaks the serial-equivalence "
+        "digest the parallel engine guarantees."
+    ),
+)
+def check_partition_ownership(
+    mod: ModuleInfo, project: Project
+) -> Iterator[Finding]:
+    """Flag code holding a *collection* of partitions that mutates an
+    element's internals — attribute stores through ``parts[i]...`` or
+    method calls outside the round-protocol allowlist (``insert_arrival``,
+    ``apply_and_run``, ``drain_outbox``, ...).  Applies to
+    ``repro.sim.parallel`` and to modules importing from it (the code
+    that can hold partition handles).  Known false negatives: a single
+    partition reference aliased out of its collection, and collections
+    passed across functions as parameters, are not tracked."""
+    in_scope = mod.module.startswith("repro.sim.parallel")
+    if not in_scope:
+        for node in ast.walk(mod.tree):
+            if isinstance(node, ast.ImportFrom):
+                if (node.module or "").startswith("repro.sim.parallel"):
+                    in_scope = True
+                    break
+            elif isinstance(node, ast.Import):
+                if any(
+                    a.name.startswith("repro.sim.parallel")
+                    for a in node.names
+                ):
+                    in_scope = True
+                    break
+    if not in_scope:
+        return
+
+    # class-wide partition-collection attributes (self._parts et al.)
+    class_colls: Dict[str, Set[str]] = {}
+    for stmt in mod.tree.body:
+        if isinstance(stmt, ast.ClassDef):
+            class_colls[stmt.name] = _partition_collections_in(
+                project, mod.module, stmt.name, ast.walk(stmt)
+            )
+
+    for fn_qual, info in sorted(project.functions.items()):
+        if info.module != mod.module:
+            continue
+        collections = set(class_colls.get(info.class_name or "", ()))
+        collections |= _partition_collections_in(
+            project, mod.module, info.class_name, ast.walk(info.node)
+        )
+        if not collections:
+            continue
+        # element names: loop vars over a collection, or subscript results
+        elems: Set[str] = set()
+        for node in ast.walk(info.node):
+            if isinstance(node, ast.For):
+                if (
+                    _iter_collection_key(node.iter) in collections
+                    and isinstance(node.target, ast.Name)
+                ):
+                    elems.add(node.target.id)
+            elif isinstance(node, ast.Assign):
+                if (
+                    isinstance(node.value, ast.Subscript)
+                    and _chain_key(node.value.value) in collections
+                ):
+                    for target in node.targets:
+                        if isinstance(target, ast.Name):
+                            elems.add(target.id)
+
+        for node in ast.walk(info.node):
+            if isinstance(node, (ast.Assign, ast.AugAssign, ast.Delete)):
+                targets = (
+                    node.targets
+                    if isinstance(node, ast.Assign)
+                    else [node.target]
+                    if isinstance(node, ast.AugAssign)
+                    else node.targets
                 )
+                for target in targets:
+                    if not isinstance(
+                        target, (ast.Attribute, ast.Subscript)
+                    ):
+                        continue
+                    # mutating *internals* (at least one attribute hop);
+                    # rebinding a collection slot is the owner's business
+                    if not isinstance(target, ast.Attribute):
+                        continue
+                    if _elem_rooted(target, collections, elems):
+                        yield mod.finding(
+                            "SIM014",
+                            target,
+                            "direct store into another partition's state "
+                            "— cross-partition effects must flow through "
+                            "BoundaryMux export / insert_arrival",
+                        )
+            elif isinstance(node, ast.Call) and isinstance(
+                node.func, ast.Attribute
+            ):
+                method = node.func.attr
+                if method in _PARTITION_API:
+                    continue
+                if _elem_rooted(node.func.value, collections, elems):
+                    yield mod.finding(
+                        "SIM014",
+                        node,
+                        f"call to non-protocol method .{method}() on a "
+                        "partition owned elsewhere — only the round "
+                        "protocol surface "
+                        "(insert_arrival/apply_and_run/...) may cross "
+                        "partition boundaries",
+                    )
+
+
+# -- SIM015: freelist escape analysis (project scope) ------------------------
+
+
+@rule(
+    "SIM015",
+    "freelist-escape",
+    scope=SCOPE_PROJECT,
+    rationale=(
+        "Pooled frames have exactly one owner: release() must be reached "
+        "once per frame, and no alias may outlive it — the next make_* "
+        "rewrites every field of a recycled frame.  SIM010 catches the "
+        "same-statement-list cases; this rule follows frames through "
+        "branches and resolved calls (a helper that releases its "
+        "parameter makes its callers releasing too)."
+    ),
+)
+def check_freelist_escape(
+    mod: ModuleInfo, project: Project
+) -> Iterator[Finding]:
+    """Path-sensitive frame tracking (see :mod:`repro.analysis.dataflow`):
+    flags a frame released twice along some path, used after a call that
+    may release it, or stored into a container/attribute and then
+    released (dangling alias).  Cross-module findings anchor at the
+    *caller's* offending line — that line is the one documented pragma
+    site; a pragma on the callee's release cannot suppress them.  Known
+    false negatives: calls through opaque receivers (dict-dispatched
+    handlers, ``self.host.receive``) do not propagate release facts."""
+    from repro.analysis.dataflow import (
+        DOUBLE_RELEASE,
+        STORE_ESCAPE,
+        FrameFlow,
+    )
+
+    for fn_qual, info in sorted(project.functions.items()):
+        if info.module != mod.module:
+            continue
+        flow = FrameFlow(project, mod.module, info.class_name)
+        for kind, node, name, via in flow.analyze(info.node):
+            via_note = f" (release happens inside {via.rsplit('.', 1)[-1]}())" if via else ""
+            if kind == DOUBLE_RELEASE:
+                message = (
+                    f"frame {name!r} may be released twice along some "
+                    f"path{via_note} — the freelist would hand the same "
+                    "frame to two owners"
+                )
+            elif kind == STORE_ESCAPE:
+                message = (
+                    f"frame {name!r} was stored into a container/attribute "
+                    "and is then released — the stored alias dangles once "
+                    "the next make_* recycles the frame"
+                )
+            else:
+                message = (
+                    f"frame {name!r} used after it may have been "
+                    f"released{via_note} — the frame may already be "
+                    "recycled with every field rewritten"
+                )
+            yield mod.finding("SIM015", node, message)
+
+
+# -- SIM016: event-callback purity (project scope) ---------------------------
+
+
+def _lambda_bound_names(fn: ast.Lambda) -> Set[str]:
+    args = fn.args
+    bound = {a.arg for a in args.args}
+    bound |= {a.arg for a in args.kwonlyargs}
+    bound |= {a.arg for a in getattr(args, "posonlyargs", [])}
+    if args.vararg:
+        bound.add(args.vararg.arg)
+    if args.kwarg:
+        bound.add(args.kwarg.arg)
+    return bound
+
+
+def _reads_self_attr(fn: ast.FunctionDef, attrs: Set[str]) -> Optional[str]:
+    for node in ast.walk(fn):
+        if (
+            isinstance(node, ast.Attribute)
+            and isinstance(node.ctx, ast.Load)
+            and node.attr in attrs
+            and isinstance(node.value, ast.Name)
+            and node.value.id == "self"
+        ):
+            return node.attr
+    return None
+
+
+@rule(
+    "SIM016",
+    "event-callback-purity",
+    severity=SEVERITY_WARNING,
+    scope=SCOPE_PROJECT,
+    rationale=(
+        "A callback runs at fire time: closing over the live loop "
+        "variable makes every callback see the final iteration, and a "
+        "now-snapshot stashed on self is the *scheduling* time when the "
+        "callback reads it.  SIM006 catches the same-function closure "
+        "case; this rule follows the callback across function "
+        "boundaries via the symbol table."
+    ),
+)
+def check_callback_purity(
+    mod: ModuleInfo, project: Project
+) -> Iterator[Finding]:
+    """Two cross-boundary generalizations of SIM006, in sim-affecting
+    packages: (a) a callback scheduled *inside a for loop* that closes
+    over the loop variable without default-binding it (late binding: all
+    callbacks share the last element); (b) ``self.X = <...>.now`` in a
+    method that then schedules another method of the same class which
+    reads ``self.X`` — the callback consumes a scheduling-time snapshot.
+    Known false negatives: snapshots flowing through intermediate
+    helpers, dict-dispatched callbacks, and attributes read via
+    aliases of ``self``."""
+    if not mod.in_packages(SIM_PACKAGES):
+        return
+    for fn_qual, info in sorted(project.functions.items()):
+        if info.module != mod.module:
+            continue
+        fn = info.node
+        # (a) loop-variable capture
+        for loop in ast.walk(fn):
+            if not isinstance(loop, ast.For):
+                continue
+            targets = {
+                n.id
+                for n in ast.walk(loop.target)
+                if isinstance(n, ast.Name)
+            }
+            if not targets:
+                continue
+            for node in ast.walk(loop):
+                if not isinstance(node, ast.Call):
+                    continue
+                func = node.func
+                attr = func.attr if isinstance(func, ast.Attribute) else None
+                if attr not in _SCHEDULE_FNS:
+                    continue
+                for arg in list(node.args) + [k.value for k in node.keywords]:
+                    if not isinstance(arg, ast.Lambda):
+                        continue
+                    captured = sorted(
+                        (_names_read(arg.body) - _lambda_bound_names(arg))
+                        & targets
+                    )
+                    if captured:
+                        yield mod.finding(
+                            "SIM016",
+                            arg,
+                            "scheduled callback closes over live loop "
+                            f"variable(s) {captured!r} — every callback "
+                            "will see the final iteration's value; bind "
+                            "with a default (lambda x=x: ...)",
+                        )
+        # (b) cross-function now-snapshot via self attributes
+        if info.class_name is None:
+            continue
+        now_locals: Set[str] = set()
+        snap_attrs: Set[str] = set()
+        for node in _walk_scope(fn.body):
+            if not isinstance(node, ast.Assign):
+                continue
+            value = node.value
+            bare_now = isinstance(value, ast.Attribute) and value.attr == "now"
+            from_now_local = (
+                isinstance(value, ast.Name) and value.id in now_locals
+            )
+            for target in node.targets:
+                if isinstance(target, ast.Name) and bare_now:
+                    now_locals.add(target.id)
+                elif (
+                    isinstance(target, ast.Attribute)
+                    and isinstance(target.value, ast.Name)
+                    and target.value.id == "self"
+                    and (bare_now or from_now_local)
+                ):
+                    snap_attrs.add(target.attr)
+        if not snap_attrs:
+            continue
+        cls_qual = f"{mod.module}.{info.class_name}"
+        for node in _walk_scope(fn.body):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            attr = func.attr if isinstance(func, ast.Attribute) else None
+            if attr not in _SCHEDULE_FNS:
+                continue
+            for arg in list(node.args) + [k.value for k in node.keywords]:
+                if not (
+                    isinstance(arg, ast.Attribute)
+                    and isinstance(arg.value, ast.Name)
+                    and arg.value.id == "self"
+                ):
+                    continue
+                callee_qual = project.resolve_method(cls_qual, arg.attr)
+                if callee_qual is None:
+                    continue
+                callee = project.functions[callee_qual].node
+                hit = _reads_self_attr(callee, snap_attrs)
+                if hit is not None:
+                    yield mod.finding(
+                        "SIM016",
+                        arg,
+                        f"scheduled callback {arg.attr}() reads "
+                        f"self.{hit}, a .now snapshot taken at "
+                        "scheduling time — re-read Simulator.now at "
+                        "fire time",
+                    )
+
+
+# -- SIM017: API confinement via the call graph (project scope) --------------
+
+
+@rule(
+    "SIM017",
+    "api-confinement",
+    scope=SCOPE_PROJECT,
+    rationale=(
+        "Some APIs are contracts of exactly one subsystem: gc pausing "
+        "belongs to the run loop, raw heap primitives to the event-queue "
+        "core, frame construction to the endpoint layer, boundary "
+        "plumbing to the parallel coordinator.  The declarative table "
+        "(CONFINEMENTS) states who may use what; resolution through the "
+        "project symbol table means aliased imports cannot dodge it."
+    ),
+)
+def check_api_confinement(
+    mod: ModuleInfo, project: Project
+) -> Iterator[Finding]:
+    """Enforce the SIM017 rows of :data:`CONFINEMENTS`: flag disallowed
+    imports of confined names, and — via the call graph — call sites that
+    *resolve* to a confined API even when the import itself was innocent
+    (``import repro.net.boundary as b; b.import_packet(...)``).  Call
+    findings are skipped for an entry whose import was already flagged in
+    the module, so one smuggled API reports once per acquisition path."""
+    entries = _table_entries("SIM017")
+    live = [e for e in entries if not _module_allowed(mod, e.allowed)]
+    if not live:
+        return
+    flagged_entries: Set[int] = set()
+    for entry, finding in _confinement_hits(mod, live):
+        flagged_entries.add(id(entry))
+        yield finding
+    # call-graph pass: resolved calls to confined qualnames
+    confined: Dict[str, Confinement] = {}
+    module_entries: List[Confinement] = []
+    for e in live:
+        if id(e) in flagged_entries:
+            continue
+        if e.kind == "from-import":
+            for n in e.names:
+                confined[f"{e.api}.{n}"] = e
+        elif e.kind == "import" and e.api:
+            module_entries.append(e)
+    if not confined and not module_entries:
+        return
+    for fn_qual, info in sorted(project.functions.items()):
+        if info.module != mod.module:
+            continue
+        for node in ast.walk(info.node):
+            if not isinstance(node, ast.Call):
+                continue
+            target = project.resolve_callable(
+                mod.module, info.class_name, node.func
+            )
+            if target is None:
+                continue
+            entry = confined.get(target)
+            if entry is None:
+                for e in module_entries:
+                    if target == e.api or target.startswith(e.api + "."):
+                        entry = e
+                        break
+            if entry is not None:
+                yield mod.finding(entry.rule_id, node, entry.message)

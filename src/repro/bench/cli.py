@@ -91,6 +91,16 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     parser.add_argument(
+        "--sanitize",
+        action="store_true",
+        help=(
+            "arm the runtime sanitizer for every scenario (freelist "
+            "poisoning, event-queue order checks, partition-ownership "
+            "assertions).  Checking costs wall time, so do not gate "
+            "(--compare) against sanitizer-off baselines"
+        ),
+    )
+    parser.add_argument(
         "--out",
         default=".",
         metavar="DIR",
@@ -206,6 +216,7 @@ def main(argv=None) -> int:
             workers=args.workers,
             spans=spans,
             batch=args.batch,
+            sanitize=args.sanitize,
         )
         results.append(result)
         path = write_result(result, args.out)

@@ -161,6 +161,7 @@ def run_scenario(
     workers: int = 0,
     spans: Optional["SpanRecorder"] = None,
     batch: bool = True,
+    sanitize: bool = False,
 ) -> BenchResult:
     """Run one pinned scenario ``repeat`` times; keep the fastest.
 
@@ -190,7 +191,8 @@ def run_scenario(
         if spans_on and spans is not None:
             rep_spans = SpanRecorder(capacity=spans.capacity, pid=spans.pid)
         profile, run_fingerprint = scenario.run(
-            equeue=equeue, workers=workers, spans=rep_spans, batch=batch
+            equeue=equeue, workers=workers, spans=rep_spans, batch=batch,
+            sanitize=sanitize,
         )
         allocated, reused, _free = freelist_stats()
         if fingerprint is not None and dict(run_fingerprint) != dict(

@@ -42,6 +42,7 @@ def _engine_churn(
     workers: int = 0,
     spans: Optional[SpanRecorder] = None,
     batch: bool = True,
+    sanitize: bool = False,
 ) -> Tuple[Profile, Fingerprint]:
     """Pure engine stress: a rotating timer set under constant churn.
 
@@ -65,7 +66,7 @@ def _engine_churn(
     steps = 200_000
     k_timers = 256
     timer_horizon_ns = 5_000
-    sim = Simulator(equeue=equeue, batch=batch)
+    sim = Simulator(equeue=equeue, batch=batch, sanitize=sanitize or None)
     timers = deque()
 
     def noop() -> None:
@@ -104,10 +105,12 @@ def _experiment(**overrides) -> RunFn:
         workers: int = 0,
         spans: Optional[SpanRecorder] = None,
         batch: bool = True,
+        sanitize: bool = False,
     ) -> Tuple[Profile, Fingerprint]:
         result = run_experiment(
             ExperimentConfig(
-                equeue=equeue, workers=workers, batch=batch, **overrides
+                equeue=equeue, workers=workers, batch=batch,
+                sanitize=sanitize, **overrides
             ),
             spans=spans,
         )

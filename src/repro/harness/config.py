@@ -101,6 +101,13 @@ class ExperimentConfig:
     # digests and the batched-vs-unbatched fuzz — so, like `workers`,
     # the sweep cache fingerprint excludes it.  False = `--no-batch`.
     batch: bool = True
+    # Runtime sanitizer (repro.sanitize): invariant checks with zero
+    # effect on results — a sanitized run either raises or is
+    # bit-identical to an unsanitized one — so the sweep cache
+    # fingerprint excludes it like `equeue`/`workers`/`batch`.  False
+    # still defers to the REPRO_SANITIZE environment switch at engine
+    # construction, so an unmodified suite can run fully sanitized.
+    sanitize: bool = False
 
     def validate(self) -> None:
         """Fail fast on inconsistent combinations."""

@@ -104,7 +104,10 @@ def run_experiment(
         from repro.sim.parallel.cluster import run_parallel_experiment
 
         return run_parallel_experiment(cfg, tracer, spans)
-    sim = Simulator(equeue=cfg.resolved_equeue, batch=cfg.batch)
+    sim = Simulator(
+        equeue=cfg.resolved_equeue, batch=cfg.batch,
+        sanitize=cfg.sanitize or None,
+    )
     rng = RngFactory(cfg.seed)
     topo = _build_topology(sim, cfg)
     flows = _build_flows(cfg, rng, topo)

@@ -103,6 +103,8 @@ def config_fingerprint(cfg: ExperimentConfig) -> str:
     fields = dataclasses.asdict(cfg)
     fields.pop("equeue", None)
     fields.pop("workers", None)
+    fields.pop("batch", None)
+    fields.pop("sanitize", None)
     return json.dumps(
         fields, sort_keys=True, separators=(",", ":"), default=str,
     )

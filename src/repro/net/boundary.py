@@ -24,6 +24,7 @@ from __future__ import annotations
 
 from typing import Any, Tuple
 
+from repro.net import packet as _packet
 from repro.net.packet import Packet, PacketKind, release
 
 #: a packet flattened for the wire between partitions
@@ -60,6 +61,11 @@ class BoundaryMux:
         handing it to ``schedule_tx``, so the frame can go straight back
         to the freelist.
         """
+        san = _packet._san
+        if san is not None:
+            # a poisoned frame reaching the boundary means a released
+            # packet is still in circulation inside this partition
+            san.check_frame(pkt, where=self.name)
         fields = (
             pkt.flow_id,
             pkt.src,

@@ -144,6 +144,22 @@ FREELIST_MAX = 8192
 _allocated = 0
 _reused = 0
 
+#: the installed runtime sanitizer (repro.sanitize.Sanitizer), or None.
+#: When set, release() poisons frames and the make_* constructors verify
+#: the poison on reuse — the hooks cost one global None-check when off.
+_san = None
+
+
+def set_sanitizer(san) -> None:
+    """Install (or remove, with ``None``) the freelist sanitizer hook.
+
+    Retained frames are dropped so the poisoning invariant holds for
+    everything handed out from here on; the lifetime counters survive.
+    """
+    global _san
+    _san = san
+    _free.clear()
+
 
 def release(pkt: Packet) -> None:
     """Return a dead frame to the freelist.
@@ -153,6 +169,9 @@ def release(pkt: Packet) -> None:
     must be treated as gone: the next ``make_data``/``make_ack`` may hand
     it out again with every field rewritten.
     """
+    san = _san
+    if san is not None and not san.on_release(pkt):
+        return
     free = _free
     if len(free) < FREELIST_MAX:
         free.append(pkt)
@@ -193,6 +212,8 @@ def make_data(
     if free:
         _reused += 1
         pkt = free.pop()
+        if _san is not None:
+            _san.on_reuse(pkt)
         pkt.flow_id = flow_id
         pkt.src = src
         pkt.dst = dst
@@ -248,6 +269,9 @@ def make_data_run(
         run = free[-k:]
         del free[-k:]
         run.reverse()
+        if _san is not None:
+            for pkt in run:
+                _san.on_reuse(pkt)
         s = seq
         for pkt in run:
             pkt.flow_id = flow_id
@@ -295,6 +319,8 @@ def make_ack(
     if free:
         _reused += 1
         pkt = free.pop()
+        if _san is not None:
+            _san.on_reuse(pkt)
         pkt.flow_id = data.flow_id
         pkt.src = data.dst
         pkt.dst = data.src

@@ -1,0 +1,179 @@
+"""The runtime sanitizer: dynamic twin of simlint's project rules.
+
+``Simulator(sanitize=True)`` — or ``REPRO_SANITIZE=1`` in the
+environment, or ``--sanitize`` on the ``run``/``bench`` CLIs — arms a
+:class:`Sanitizer` that enforces, while the simulation runs, the same
+invariants the static layer (SIM014–SIM017, ``docs/STATIC_ANALYSIS.md``)
+checks before it:
+
+* **freelist discipline** (SIM010/SIM015's twin) — released frames are
+  *poisoned* (``ts``/``enq_ts`` stamped with an impossible sentinel), so
+  a double ``release()`` is caught at the second call, a poisoned frame
+  crossing a partition boundary is caught at export, and a frame found
+  un-poisoned on the freelist exposes direct ``_free`` tampering.  The
+  ``make_*`` constructors rewrite every field of a recycled frame, so
+  poisoning is invisible to a correct simulation — bit-identical
+  results, asserted by ``tests/test_sanitize.py``.
+* **event-queue order** (SIM013 and the batched-train proofs) — the
+  :class:`~repro.sim.equeue.sanitize.SanitizingEventQueue` wrapper
+  checks monotone ``(time, seq)`` pop order, clock regressions,
+  ``peek_floor`` honesty and ``drain_run`` shape on every transition.
+* **partition ownership at handoff** (SIM014's twin) —
+  ``PartitionSimulator.insert_arrival`` validates the composite arrival
+  key: the ARRIVAL bit must be set, the source partition must be remote,
+  and the stamped send time must not postdate the delivery.
+
+Everything is **zero overhead when off**: the engine wraps its backend
+only when sanitizing, and the freelist hooks are one module-global
+``None`` check per call.  Violations raise :class:`SanitizeError` by
+default (``raise_on_violation=False`` collects them instead) and are
+recorded with simulated-time context — pass a
+:class:`repro.obs.spans.SpanRecorder` to also land each violation on the
+flight-recorder timeline.
+
+The freelist hook is process-global (the freelist itself is), attached
+by the most recently constructed sanitizing ``Simulator``; use
+:func:`detach` for explicit cleanup in tests.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import TYPE_CHECKING, Any, List, NamedTuple, Optional
+
+from repro.sim.equeue.sanitize import SanitizingEventQueue
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs.spans import SpanRecorder
+    from repro.sim.engine import Simulator
+
+__all__ = [
+    "POISON",
+    "SanitizeError",
+    "SanitizingEventQueue",
+    "Sanitizer",
+    "Violation",
+    "detach",
+    "env_enabled",
+]
+
+#: the poison stamp written into released frames' ``ts``/``enq_ts`` —
+#: legitimate values are non-negative nanosecond counts, so the sentinel
+#: can never collide with live data
+POISON = -(2**62)
+
+
+class SanitizeError(RuntimeError):
+    """A sanitizer invariant was violated (the default reaction)."""
+
+
+class Violation(NamedTuple):
+    """One recorded invariant violation."""
+
+    kind: str
+    message: str
+    time_ns: int
+
+
+def env_enabled() -> bool:
+    """The ``REPRO_SANITIZE`` environment switch (unset/``0`` = off)."""
+    return os.environ.get("REPRO_SANITIZE", "") not in ("", "0")
+
+
+class Sanitizer:
+    """Violation collector and freelist-poisoning protocol.
+
+    One instance per sanitizing :class:`~repro.sim.engine.Simulator`;
+    the engine threads it into the event-queue wrapper and (via
+    :meth:`attach_freelist`) into the packet freelist hooks.
+    """
+
+    __slots__ = ("sim", "violations", "raise_on_violation", "spans")
+
+    def __init__(
+        self,
+        sim: Optional["Simulator"] = None,
+        raise_on_violation: bool = True,
+        spans: Optional["SpanRecorder"] = None,
+    ) -> None:
+        self.sim = sim
+        self.violations: List[Violation] = []
+        self.raise_on_violation = raise_on_violation
+        self.spans = spans
+
+    # -- reporting --------------------------------------------------------
+
+    def record(self, kind: str, message: str) -> None:
+        """Record one violation; raise unless configured to collect."""
+        now = self.sim.now if self.sim is not None else -1
+        violation = Violation(kind, message, now)
+        self.violations.append(violation)
+        spans = self.spans
+        if spans is not None and spans.enabled:
+            from repro.obs.spans import wall_ns
+
+            spans.add(
+                "sanitize",
+                kind,
+                wall_ns(),
+                0,
+                tid="sanitize",
+                args={"message": message, "sim_ns": now},
+            )
+        if self.raise_on_violation:
+            raise SanitizeError(f"[{kind}] t={now}ns: {message}")
+
+    # -- freelist protocol ------------------------------------------------
+
+    def attach_freelist(self) -> None:
+        """Install this sanitizer as the process-wide freelist hook.
+
+        Clears retained frames so the "everything on the freelist is
+        poisoned" invariant holds from here on (counters are preserved).
+        """
+        from repro.net import packet
+
+        packet.set_sanitizer(self)
+
+    def on_release(self, pkt: Any) -> bool:
+        """``release()`` hook: catch double-release, then poison.
+
+        Returns ``False`` when the frame must *not* rejoin the freelist
+        (it is already there — appending again would hand one frame to
+        two owners).
+        """
+        if pkt.ts == POISON and pkt.enq_ts == POISON:
+            self.record(
+                "double-release",
+                f"frame released twice (flow={pkt.flow_id} "
+                f"seq={pkt.seq} kind={int(pkt.kind)})",
+            )
+            return False
+        pkt.ts = POISON
+        pkt.enq_ts = POISON
+        return True
+
+    def on_reuse(self, pkt: Any) -> None:
+        """``make_*`` hook: every recycled frame must carry the poison."""
+        if pkt.ts != POISON or pkt.enq_ts != POISON:
+            self.record(
+                "freelist-corruption",
+                "un-poisoned frame found on the freelist — something "
+                "bypassed release() (direct _free access?)",
+            )
+
+    def check_frame(self, pkt: Any, where: str) -> None:
+        """Assert ``pkt`` is live — used at partition-boundary export."""
+        if pkt.ts == POISON and pkt.enq_ts == POISON:
+            self.record(
+                "use-after-release",
+                f"{where}: released frame is still in circulation "
+                f"(flow={pkt.flow_id} seq={pkt.seq})",
+            )
+
+
+def detach() -> None:
+    """Remove any installed freelist sanitizer (test cleanup)."""
+    from repro.net import packet
+
+    packet.set_sanitizer(None)

@@ -118,14 +118,38 @@ class Simulator:
         "train_pkts",
         "train_hist",
         "train_fallbacks",
+        "_san",
     )
 
-    def __init__(self, equeue: EQueueSpec = None, batch: bool = True) -> None:
+    def __init__(
+        self,
+        equeue: EQueueSpec = None,
+        batch: bool = True,
+        sanitize: Optional[bool] = None,
+    ) -> None:
         self.now: int = 0
         self._seq: int = 0
         #: seqs of entries cancelled but not physically removed (lazy deletion)
         self._cancelled: Set[int] = set()
         eq = make_equeue(equeue)
+        #: the runtime sanitizer (repro.sanitize.Sanitizer) when armed —
+        #: ``sanitize=None`` defers to the REPRO_SANITIZE env switch, so
+        #: an unmodified test suite can run fully sanitized.  Arming wraps
+        #: the backend *before* the specialization probes below: the
+        #: wrapped queue is neither a raw heap nor a ladder, so every
+        #: schedule/pop/drain routes through the checked generic paths.
+        self._san = None
+        if sanitize is None:
+            from repro.sanitize import env_enabled
+
+            sanitize = env_enabled()
+        if sanitize:
+            from repro.sanitize import Sanitizer, SanitizingEventQueue
+
+            san = Sanitizer(sim=self)
+            san.attach_freelist()
+            eq = SanitizingEventQueue(eq, san)
+            self._san = san
         self._equeue: EventQueue = eq
         eq.attach(self._cancelled)
         #: bound push — single-attribute hot path for non-heap backends

@@ -1,0 +1,202 @@
+"""The sanitizing event-queue wrapper: runtime twin of the order rules.
+
+:class:`SanitizingEventQueue` wraps any concrete backend and re-checks,
+on every queue transition, the invariants the static layer (SIM013,
+SIM014, the batched-train proof obligations) can only argue about
+lexically:
+
+* **pop-order monotonicity** — entries must surface in strictly
+  increasing ``(time, seq)`` order.  This holds for both the serial
+  engine's global counter and the partitioned engine's composite keys;
+  a backend (or a re-entrant callback) that breaks it has corrupted the
+  total order every golden digest rests on.
+* **no time regression** — a popped entry may never be earlier than the
+  simulator clock (inline transmit trains advance the clock without
+  popping, so this is a distinct check from pop order).
+* **floor-proof validation** — :meth:`peek_floor` claims "no pending
+  entry is earlier than X"; the claim is remembered and the next pop is
+  checked against it (pushes after the probe lawfully lower the bar —
+  the claim only ever covered entries pending at probe time).  This is
+  exactly the proof the engine's inline train fast path relies on.
+* **seq uniqueness and past-push** — a duplicate live ``seq`` breaks
+  cancel bookkeeping and tuple-order totality; a push before ``now``
+  would fire in the past.
+* **run-drain shape** — :meth:`drain_run` snapshots must be same-
+  timestamp, within both the time bound and the entry budget.
+
+The wrapper is installed by ``Simulator(sanitize=True)`` *before* the
+engine's backend-specialization checks, so the engine sees neither a raw
+heap nor a ladder and routes every push, pop and drain through here (the
+generic paths) — zero code on the fast paths when sanitizing is off.
+Physical cancellation is declined (``physical_cancel = False``): lazy
+tombstoning is correct for every backend and keeps removed entries
+visible to the order checks.
+
+This module lives under ``repro.sim.equeue`` so its ``pop``/``drain_run``
+delegation is inside SIM013's confinement allowlist — the wrapper *is*
+event-queue machinery.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, Iterator, List, Optional, Set
+
+from repro.sim.equeue.base import Entry, EventQueue
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.sanitize import Sanitizer
+
+
+class SanitizingEventQueue(EventQueue):
+    """Order-checking proxy around a concrete backend (see module doc)."""
+
+    physical_cancel = False
+
+    __slots__ = (
+        "inner",
+        "san",
+        "_last_time",
+        "_last_seq",
+        "_floor_claim",
+        "_live_seqs",
+    )
+
+    def __init__(self, inner: EventQueue, san: "Sanitizer") -> None:
+        self.inner = inner
+        self.san = san
+        # the last dispatched (time, seq) — pops must strictly exceed it
+        self._last_time = -1
+        self._last_seq = -1
+        #: outstanding peek_floor claim (-1 = none): "nothing pending
+        #: before this time"; consumed and re-checked at the next pop
+        self._floor_claim = -1
+        #: seqs of stored entries (tombstones included, like __len__)
+        self._live_seqs: Set[int] = set()
+
+    @property
+    def name(self) -> str:  # type: ignore[override]
+        return f"sanitize({self.inner.name})"
+
+    # -- writes ----------------------------------------------------------
+
+    def push(self, entry: Entry) -> int:
+        san = self.san
+        t = entry[0]
+        s = entry[1]
+        sim = san.sim
+        if sim is not None and t < sim.now:
+            san.record(
+                "push-into-past",
+                f"entry (t={t}, seq={s}) pushed behind the clock "
+                f"(now={sim.now})",
+            )
+        if s in self._live_seqs:
+            san.record(
+                "duplicate-seq",
+                f"seq {s} pushed while already live (t={t}) — cancel "
+                "bookkeeping and tie-order totality are broken",
+            )
+        else:
+            self._live_seqs.add(s)
+        if self._floor_claim != -1 and t < self._floor_claim:
+            # a floor claim only covers entries pending at probe time;
+            # later pushes lawfully lower the bar for the next pop check
+            self._floor_claim = t
+        return self.inner.push(entry)
+
+    def cancel(self, entry: Entry) -> bool:
+        # decline physical removal: the tombstone stays queue-visible and
+        # flows through the pop-order checks like any other entry
+        return False
+
+    def attach(self, cancelled: Set[int]) -> None:
+        self.inner.attach(cancelled)
+
+    # -- reads -----------------------------------------------------------
+
+    def _check_popped(self, entry: Entry) -> None:
+        san = self.san
+        t = entry[0]
+        s = entry[1]
+        if t < self._last_time or (
+            t == self._last_time and s <= self._last_seq
+        ):
+            san.record(
+                "pop-order",
+                f"entry (t={t}, seq={s}) surfaced after "
+                f"(t={self._last_time}, seq={self._last_seq}) — "
+                "(time, seq) pop order violated",
+            )
+        sim = san.sim
+        if sim is not None and t < sim.now:
+            san.record(
+                "time-regression",
+                f"entry (t={t}, seq={s}) popped behind the clock "
+                f"(now={sim.now})",
+            )
+        fc = self._floor_claim
+        if fc != -1:
+            if t < fc:
+                san.record(
+                    "floor-overclaim",
+                    f"peek_floor claimed nothing before t={fc}, but "
+                    f"(t={t}, seq={s}) surfaced — the inline-train proof "
+                    "was unsound",
+                )
+            self._floor_claim = -1
+        self._last_time = t
+        self._last_seq = s
+        self._live_seqs.discard(s)
+
+    def pop(self) -> Optional[Entry]:
+        entry = self.inner.pop()
+        if entry is not None:
+            self._check_popped(entry)
+        return entry
+
+    def peek(self) -> Optional[Entry]:
+        return self.inner.peek()
+
+    def peek_floor(self) -> int:
+        floor = self.inner.peek_floor()
+        if self._floor_claim == -1 or floor < self._floor_claim:
+            self._floor_claim = floor
+        return floor
+
+    def drain_run(self, until_bound: int, limit: int) -> Optional[List[Entry]]:
+        run = self.inner.drain_run(until_bound, limit)
+        if run is None:
+            return None
+        san = self.san
+        if len(run) > max(limit, 1):
+            san.record(
+                "drain-overrun",
+                f"drain_run returned {len(run)} entries against a limit "
+                f"of {limit}",
+            )
+        t0 = run[0][0]
+        if t0 > until_bound:
+            san.record(
+                "drain-past-bound",
+                f"drain_run surfaced t={t0} past until={until_bound}",
+            )
+        for entry in run:
+            if entry[0] != t0:
+                san.record(
+                    "drain-mixed-run",
+                    f"drain_run mixed timestamps {t0} and {entry[0]} in "
+                    "one snapshot — a run must share its least timestamp",
+                )
+            self._check_popped(entry)
+        return run
+
+    # -- bookkeeping ------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.inner)
+
+    def __iter__(self) -> Iterator[Entry]:
+        return iter(self.inner)
+
+    def stats(self) -> Dict[str, int]:
+        return self.inner.stats()

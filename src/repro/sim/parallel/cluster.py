@@ -147,7 +147,7 @@ class _Partition:
         spans_on: bool = False,
     ) -> None:
         self.pid = pid
-        sim = PartitionSimulator(pid, batch=cfg.batch)
+        sim = PartitionSimulator(pid, batch=cfg.batch, sanitize=cfg.sanitize or None)
         self.sim = sim
         rng = RngFactory(cfg.seed)
         topo = _build_topology(sim, cfg)

@@ -101,21 +101,29 @@ class PartitionSimulator(Simulator):
         "_handoff_cnt",
     )
 
-    def __init__(self, pid: int, batch: bool = True) -> None:
+    def __init__(
+        self, pid: int, batch: bool = True, sanitize: Any = None
+    ) -> None:
         if not 0 <= pid < MAX_PARTITIONS:
             raise ValueError(
                 f"partition id {pid} outside [0, {MAX_PARTITIONS})"
             )
-        super().__init__(equeue="heap", batch=batch)
+        super().__init__(equeue="heap", batch=batch, sanitize=sanitize)
         self.pid = pid
         #: handoffs captured since the coordinator last drained them
         self.outbox: List[Handoff] = []
         #: delivery callback -> boundary sink (identity/equality keyed)
         self._sinks: Dict[Any, BoundarySink] = {}
-        # the heap backend's raw entry list (never None: the constructor
-        # above pinned the heap backend)
+        # the heap backend's raw entry list.  The constructor above pinned
+        # the heap backend, so this is only None when the sanitizer wrapped
+        # it — then the wrapped heap's list still serves the *read-only*
+        # train floor probe, while writes go through the checked wrapper
+        # push (see _push/schedule_many).
         events = self._heap
-        assert events is not None
+        if events is None:
+            inner = getattr(self._equeue, "inner", None)
+            assert inner is not None, "partition backend is not a heap"
+            events = inner.entries
         self._events: List[EventHandle] = events
         #: timestamp the counters below are valid for
         self._seq_time = -1
@@ -148,9 +156,11 @@ class PartitionSimulator(Simulator):
         return (now << TIME_SHIFT) | c
 
     def _push(self, entry: EventHandle) -> None:
-        events = self._events
-        heappush(events, entry)
-        n = len(events)
+        if self._san is not None:
+            self._eq_push(entry)
+        else:
+            heappush(self._events, entry)
+        n = len(self._events)
         if n > self.heap_hwm:
             self.heap_hwm = n
 
@@ -184,8 +194,13 @@ class PartitionSimulator(Simulator):
     ) -> None:
         now = self.now
         events = self._events
-        for delay_ns, fn in items:
-            heappush(events, (now + delay_ns, self._alloc(1), fn))
+        if self._san is not None:
+            push = self._eq_push
+            for delay_ns, fn in items:
+                push((now + delay_ns, self._alloc(1), fn))
+        else:
+            for delay_ns, fn in items:
+                heappush(events, (now + delay_ns, self._alloc(1), fn))
         n = len(events)
         if n > self.heap_hwm:
             self.heap_hwm = n
@@ -324,6 +339,30 @@ class PartitionSimulator(Simulator):
                 f"partition {self.pid}: arrival at t={time_ns} not after "
                 f"now={self.now} — lookahead violated"
             )
+        san = self._san
+        if san is not None:
+            # ownership handoff checks: the composite key must say
+            # "arrival, stamped by a *different* partition, sent no
+            # later than it is delivered" — SIM014's runtime twin
+            if not seq & ARRIVAL_BIT:
+                san.record(
+                    "boundary-ownership",
+                    f"partition {self.pid}: arrival key {seq:#x} lacks "
+                    "the ARRIVAL bit — a local event was injected "
+                    "through the boundary interface",
+                )
+            elif (seq >> SRC_SHIFT) & (MAX_PARTITIONS - 1) == self.pid:
+                san.record(
+                    "arrival-from-self",
+                    f"partition {self.pid}: arrival key {seq:#x} names "
+                    "this partition as its own sender",
+                )
+            if seq >> TIME_SHIFT > time_ns:
+                san.record(
+                    "send-after-delivery",
+                    f"partition {self.pid}: arrival stamped at send time "
+                    f"{seq >> TIME_SHIFT} but delivered at {time_ns}",
+                )
         self._push((time_ns, seq, fn, arg))
 
     def drain_outbox(self) -> List[Handoff]:

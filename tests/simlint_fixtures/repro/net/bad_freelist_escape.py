@@ -1,0 +1,39 @@
+"""SIM015: frames escaping the freelist ownership discipline across paths."""
+
+from repro.net.packet import make_ack, make_data, release
+
+
+def helper_release(frame):
+    # the release itself is fine: SIM015 anchors at the *caller's* misuse
+    release(frame)
+
+
+def double_release_branch(pkt, flag):
+    if flag:
+        release(pkt)
+    release(pkt)  # expect: SIM015
+
+
+def early_out_is_clean(pkt, bad):
+    if bad:
+        release(pkt)
+        return None
+    return pkt.seq  # near miss: the releasing path already returned
+
+
+def release_via_helper_then_use(now):
+    pkt = make_data(1, 2, 3, 0, 1000, True, 0, now)
+    helper_release(pkt)
+    return pkt.seq  # expect: SIM015
+
+
+def store_then_release(buf, data, now):
+    ack = make_ack(data, 1, False, now)
+    buf.append(ack)
+    release(ack)  # expect: SIM015
+
+
+def store_without_release_is_ownership_transfer(buf, data, now):
+    ack = make_ack(data, 2, False, now)
+    buf.append(ack)  # near miss: the container now owns the frame
+    return ack.seq

@@ -1,0 +1,33 @@
+"""SIM016: scheduled callbacks capturing loop state or .now snapshots."""
+
+
+class Poller:
+    def __init__(self, sim, queues):
+        self.sim = sim
+        self.queues = queues
+        self.mark_ts = 0
+        self.seen_ts = 0
+
+    def arm_all(self):
+        for q in self.queues:
+            self.sim.schedule(10, lambda: q.tick())  # expect: SIM016
+
+    def arm_all_bound(self):
+        for q in self.queues:
+            # near miss: default-binding freezes the current element
+            self.sim.schedule(10, lambda q=q: q.tick())
+
+    def snapshot_and_arm(self):
+        self.mark_ts = self.sim.now
+        self.sim.schedule(50, self._fire)  # expect: SIM016
+
+    def _fire(self):
+        return self.mark_ts
+
+    def snapshot_only(self):
+        self.seen_ts = self.sim.now
+        # near miss: _tick re-reads the clock at fire time
+        self.sim.schedule(50, self._tick)
+
+    def _tick(self):
+        return self.sim.now

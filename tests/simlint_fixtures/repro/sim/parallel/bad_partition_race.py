@@ -1,0 +1,32 @@
+"""SIM014: cross-partition mutation bypassing the round-protocol handoff."""
+
+from repro.sim.parallel.partition import PartitionSimulator
+
+
+class BadCoordinator:
+    def __init__(self, n, horizon):
+        self.parts = {pid: PartitionSimulator(pid) for pid in range(n)}
+        self.horizon = horizon
+
+    def poke(self, dst, fn):
+        self.parts[dst].schedule(10, fn)  # expect: SIM014
+
+    def poison_clock(self, dst, t):
+        self.parts[dst].now = t  # expect: SIM014
+
+    def splice_outbox(self, dst, rec):
+        self.parts[dst].outbox.append(rec)  # expect: SIM014
+
+    def inject(self, dst, seq, fn, pkt):
+        # near miss: the sanctioned handoff API stays silent
+        self.parts[dst].insert_arrival(10, seq, fn, pkt)
+
+    def drive(self):
+        for p in self.parts.values():
+            p.run(self.horizon)  # near miss: round-protocol surface
+
+    def collect(self):
+        reports = []
+        for p in self.parts.values():
+            reports.append(p.final())  # near miss: round-protocol surface
+        return reports

@@ -1,0 +1,28 @@
+"""SIM017: confined subsystem APIs smuggled outside their owning packages."""
+
+import gc  # expect: SIM017
+import repro.net.boundary as boundary
+
+from repro.net.packet import freelist_stats
+from repro.sim.equeue.heap import heappush  # expect: SIM017
+
+
+def pause_collector():
+    # near miss for the call pass: the `import gc` above already reported,
+    # so the acquisition path fires exactly once per module
+    gc.disable()
+
+
+def rank(heap, item):
+    heappush(heap, item)  # same: reported at the from-import line
+
+
+def smuggle(fields):
+    # the import line was innocent (module alias, not a confined name);
+    # the call graph still resolves this to repro.net.boundary.import_packet
+    return boundary.import_packet(fields)  # expect: SIM017
+
+
+def audit():
+    # near miss: freelist_stats is observability, not a confined API
+    return freelist_stats()

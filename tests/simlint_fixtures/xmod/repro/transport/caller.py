@@ -1,0 +1,16 @@
+"""Cross-module pragma fixture: the use-after-release sink.
+
+``surrender`` releases its argument inside ``helper.py``; the use below
+is a SIM015 anchored HERE (the sink), which is therefore the one
+documented suppression site for this cross-module finding.
+"""
+
+from repro.net.packet import make_data
+
+from repro.transport.helper import surrender
+
+
+def peek_after_surrender(now):
+    pkt = make_data(1, 2, 3, 0, 1000, True, 0, now)
+    surrender(pkt)
+    return pkt.seq

@@ -1,0 +1,14 @@
+"""Cross-module pragma fixture: the releasing helper (the *source*).
+
+This file is deliberately clean on its own — releasing a parameter is a
+legitimate ownership transfer.  The violation only exists in
+``caller.py``, which keeps using the frame afterwards; simlint anchors
+that finding at the caller's use line, so a pragma *here* must not
+suppress it (see TestCrossModulePragmas in tests/test_simlint.py).
+"""
+
+from repro.net.packet import release
+
+
+def surrender(frame):
+    release(frame)

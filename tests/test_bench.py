@@ -15,6 +15,14 @@ from repro.bench import (
 from repro.bench.cli import main as bench_main
 
 
+def _backend_name(recorded):
+    """Strip the sanitizer wrapper so backend-name pins hold under
+    REPRO_SANITIZE=1 (the profile then records e.g. "sanitize(heap)")."""
+    if recorded.startswith("sanitize(") and recorded.endswith(")"):
+        return recorded[len("sanitize(") : -1]
+    return recorded
+
+
 def _result(scenario="port_saturation", eps=100_000.0, **kw):
     defaults = dict(
         scenario=scenario,
@@ -266,7 +274,7 @@ class TestCli:
         payload = json.loads(
             (out_dir / "BENCH_port_saturation.json").read_text()
         )
-        assert payload["equeue"] == "ladder"
+        assert _backend_name(payload["equeue"]) == "ladder"
         assert isinstance(payload["equeue_stats"], dict)
 
     def test_spans_flag_writes_timeline_and_phase_stats(self, tmp_path):
@@ -321,7 +329,7 @@ class TestCli:
             == 0
         )
         payload = json.loads(artifact.read_text())
-        assert payload["equeue"] == "heap"
+        assert _backend_name(payload["equeue"]) == "heap"
         assert not payload["regressed"]
         assert payload["missing_baselines"] == []
         (row,) = payload["comparisons"]

@@ -34,6 +34,14 @@ from repro.sim.equeue.wheel import TimerWheelEventQueue
 ALL = sorted(BACKENDS)
 
 
+def _backend_name(recorded):
+    """Strip the sanitizer wrapper so backend-name pins hold under
+    REPRO_SANITIZE=1 (the profile then records e.g. "sanitize(heap)")."""
+    if recorded.startswith("sanitize(") and recorded.endswith(")"):
+        return recorded[len("sanitize(") : -1]
+    return recorded
+
+
 # -- layer 1: raw backends against a reference model ----------------------
 
 
@@ -205,7 +213,7 @@ def test_golden_digests_identical_across_backends(name):
     golden = _GOLDEN[name]
     results = {b: _digests(golden["config"], b) for b in ALL}
     for backend, (trace_sha, fct_sha, recorded) in results.items():
-        assert recorded == backend
+        assert _backend_name(recorded) == backend
         # every backend must land on the committed pins — not just agree
         # with each other
         assert trace_sha == golden["trace_sha256"], (
@@ -321,7 +329,7 @@ class TestEngineIntegration:
                 load=0.5, n_flows=3, seed=1, equeue=backend,
             )
         )
-        assert result.profile["equeue"] == backend
+        assert _backend_name(result.profile["equeue"]) == backend
         assert isinstance(result.profile["equeue_stats"], dict)
 
     def test_unknown_backend_rejected(self):
@@ -335,4 +343,4 @@ class TestEngineIntegration:
 
     def test_auto_resolves_to_a_real_backend(self):
         sim = Simulator(equeue="auto")
-        assert sim.equeue_name in BACKENDS
+        assert _backend_name(sim.equeue_name) in BACKENDS

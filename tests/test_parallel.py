@@ -197,8 +197,10 @@ class TestPartitionSimulator:
 
     def test_arrival_sorts_after_same_sched_time_locals(self):
         # locals keep bit 23 clear, arrivals set it: for the same
-        # scheduling nanosecond, local events order first
-        sim = PartitionSimulator(0)
+        # scheduling nanosecond, local events order first.  pid 1: the
+        # fabricated arrival's src field is 0, and a sanitized run
+        # (REPRO_SANITIZE=1) rejects an arrival naming its own partition.
+        sim = PartitionSimulator(1)
         log = []
         sim.insert_arrival(
             100, (0 << TIME_SHIFT) | ARRIVAL_BIT,

@@ -1,0 +1,334 @@
+"""The runtime sanitizer: the dynamic twin of simlint's project rules.
+
+Three properties are pinned here:
+
+* **transparency** — a sanitized run of a clean simulation raises
+  nothing and produces bit-identical results (FCTs, counters, sim_ns)
+  to the unsanitized run, on both the serial and partitioned engines;
+* **detection** — each invariant class (freelist double-release /
+  use-after-release / direct-tampering, event-queue pop order / floor
+  claims / drain shape, partition-ownership handoff keys) has a seeded
+  violation the sanitizer catches;
+* **zero footprint when off** — an unsanitized engine carries no
+  wrapper and no freelist hook.
+
+The freelist hook is process-global, so every test detaches it on the
+way out (autouse fixture) to keep the rest of the suite unaffected.
+"""
+
+import os
+import subprocess
+import sys
+
+import pytest
+
+from repro.harness.config import ExperimentConfig
+from repro.harness.runner import run_experiment
+from repro.net import packet
+from repro.net.boundary import BoundaryMux
+from repro.net.packet import make_ack, make_data, make_data_run, release
+from repro.sanitize import (
+    POISON,
+    SanitizeError,
+    Sanitizer,
+    SanitizingEventQueue,
+    Violation,
+    detach,
+    env_enabled,
+)
+from repro.sim.engine import Simulator
+from repro.sim.equeue.heap import HeapEventQueue
+from repro.sim.parallel.partition import (
+    ARRIVAL_BIT,
+    SRC_SHIFT,
+    TIME_SHIFT,
+    PartitionSimulator,
+)
+
+
+@pytest.fixture(autouse=True)
+def _clean_freelist():
+    """Isolate the process-global freelist hook and frame pool."""
+    detach()
+    packet.reset_freelist()
+    yield
+    detach()
+    packet.reset_freelist()
+
+
+def _collecting_sanitizer(sim=None):
+    return Sanitizer(sim=sim, raise_on_violation=False)
+
+
+class TestFreelistPoisoning:
+    def test_double_release_raises(self):
+        san = Sanitizer()
+        san.attach_freelist()
+        pkt = make_data(1, 2, 3, 0, 1000, True, 0, 50)
+        release(pkt)
+        with pytest.raises(SanitizeError, match="double-release"):
+            release(pkt)
+
+    def test_double_release_does_not_duplicate_the_frame(self):
+        san = _collecting_sanitizer()
+        san.attach_freelist()
+        pkt = make_data(1, 2, 3, 0, 1000, True, 0, 50)
+        release(pkt)
+        release(pkt)
+        assert [v.kind for v in san.violations] == ["double-release"]
+        # the second release must not append again: one frame, one owner
+        assert packet.freelist_stats()[2] == 1
+
+    def test_released_frames_are_poisoned_and_reuse_is_clean(self):
+        san = Sanitizer()
+        san.attach_freelist()
+        pkt = make_data(1, 2, 3, 0, 1000, True, 0, 50)
+        release(pkt)
+        assert pkt.ts == POISON and pkt.enq_ts == POISON
+        again = make_data(4, 5, 6, 7, 500, False, 2, 60)
+        assert again is pkt  # recycled
+        assert again.ts == 60 and again.enq_ts == 0  # fully rewritten
+
+    def test_make_ack_and_run_reuse_are_clean(self):
+        san = Sanitizer()
+        san.attach_freelist()
+        frames = [make_data(1, 2, 3, s, 1000, True, 0, 5) for s in range(4)]
+        for f in frames:
+            release(f)
+        data = make_data(1, 2, 3, 9, 1000, True, 0, 70)
+        make_ack(data, 10, False, 71)
+        run = make_data_run(1, 2, 3, 0, 4, 1000, True, 0, 72)
+        assert [p.seq for p in run] == [0, 1, 2, 3]
+        assert all(p.ts == 72 for p in run)
+        assert san.violations == []
+
+    def test_freelist_tampering_is_caught_on_reuse(self):
+        san = _collecting_sanitizer()
+        san.attach_freelist()
+        pkt = make_data(1, 2, 3, 0, 1000, True, 0, 50)
+        # bypass release(): push the live frame straight onto the pool
+        packet._free.append(pkt)
+        make_data(1, 2, 3, 1, 1000, True, 0, 51)
+        assert [v.kind for v in san.violations] == ["freelist-corruption"]
+
+    def test_attach_clears_retained_frames(self):
+        pkt = make_data(1, 2, 3, 0, 1000, True, 0, 50)
+        release(pkt)  # unsanitized: retained without poison
+        assert packet.freelist_stats()[2] == 1
+        Sanitizer().attach_freelist()
+        assert packet.freelist_stats()[2] == 0
+
+    def test_use_after_release_caught_at_boundary_export(self):
+        san = _collecting_sanitizer()
+        san.attach_freelist()
+        mux = BoundaryMux(3)
+        pkt = make_data(1, 2, 3, 0, 1000, True, 0, 50)
+        release(pkt)
+        mux.export(pkt)
+        kinds = [v.kind for v in san.violations]
+        assert "use-after-release" in kinds
+
+    def test_violation_carries_sim_time(self):
+        sim = Simulator()
+        sim.now = 777
+        san = _collecting_sanitizer(sim=sim)
+        san.record("demo", "msg")
+        assert san.violations == [Violation("demo", "msg", 777)]
+
+
+class _ShuffledQueue(HeapEventQueue):
+    """A deliberately broken backend: pops the *last* heap entry."""
+
+    def pop(self):
+        if not self.entries:
+            return None
+        return self.entries.pop()
+
+
+class TestEventQueueChecks:
+    def test_name_wraps_inner(self):
+        eq = SanitizingEventQueue(HeapEventQueue(), _collecting_sanitizer())
+        assert eq.name == "sanitize(heap)"
+
+    def test_pop_order_violation(self):
+        san = _collecting_sanitizer()
+        eq = SanitizingEventQueue(_ShuffledQueue(), san)
+        eq.push((10, 1, None))
+        eq.push((20, 2, None))
+        eq.pop()  # surfaces t=20 first
+        eq.pop()  # then t=10: out of order
+        assert [v.kind for v in san.violations] == ["pop-order"]
+
+    def test_duplicate_seq_and_push_into_past(self):
+        sim = Simulator()
+        sim.now = 100
+        san = _collecting_sanitizer(sim=sim)
+        eq = SanitizingEventQueue(HeapEventQueue(), san)
+        eq.push((200, 7, None))
+        eq.push((210, 7, None))
+        eq.push((50, 8, None))
+        kinds = [v.kind for v in san.violations]
+        assert kinds == ["duplicate-seq", "push-into-past"]
+
+    def test_floor_overclaim(self):
+        san = _collecting_sanitizer()
+        inner = HeapEventQueue()
+        eq = SanitizingEventQueue(inner, san)
+        eq.push((30, 1, None))
+        assert eq.peek_floor() == 30
+        # sneak an earlier entry in behind the wrapper's back
+        inner.push((10, 2, None))
+        eq.pop()
+        assert [v.kind for v in san.violations] == ["floor-overclaim"]
+
+    def test_push_after_probe_lawfully_lowers_the_claim(self):
+        san = _collecting_sanitizer()
+        eq = SanitizingEventQueue(HeapEventQueue(), san)
+        eq.push((30, 1, None))
+        assert eq.peek_floor() == 30
+        eq.push((10, 2, None))  # the claim never covered this push
+        eq.pop()
+        assert san.violations == []
+
+    def test_drain_run_checks_pass_on_honest_backend(self):
+        san = _collecting_sanitizer()
+        eq = SanitizingEventQueue(HeapEventQueue(), san)
+        for s in range(4):
+            eq.push((10, s, None))
+        eq.push((20, 9, None))
+        run = eq.drain_run(100, 64)
+        assert [e[1] for e in run] == [0, 1, 2, 3]
+        assert len(eq) == 1
+        assert san.violations == []
+
+    def test_cancel_is_lazy(self):
+        eq = SanitizingEventQueue(HeapEventQueue(), _collecting_sanitizer())
+        entry = (10, 1, None)
+        eq.push(entry)
+        assert eq.cancel(entry) is False
+        assert not eq.physical_cancel
+
+
+class TestPartitionOwnership:
+    def _arrival_seq(self, send_t, src_pid, h=0):
+        return (send_t << TIME_SHIFT) | ARRIVAL_BIT | (src_pid << SRC_SHIFT) | h
+
+    def test_good_arrival_is_silent(self):
+        sim = PartitionSimulator(0, sanitize=True)
+        sim._san.raise_on_violation = False
+        sim.insert_arrival(100, self._arrival_seq(90, 1), lambda a: None, None)
+        assert sim._san.violations == []
+
+    def test_arrival_without_arrival_bit(self):
+        sim = PartitionSimulator(0, sanitize=True)
+        sim._san.raise_on_violation = False
+        sim.insert_arrival(100, (90 << TIME_SHIFT) | 5, lambda a: None, None)
+        assert [v.kind for v in sim._san.violations] == ["boundary-ownership"]
+
+    def test_arrival_from_self(self):
+        sim = PartitionSimulator(2, sanitize=True)
+        sim._san.raise_on_violation = False
+        sim.insert_arrival(100, self._arrival_seq(90, 2), lambda a: None, None)
+        assert [v.kind for v in sim._san.violations] == ["arrival-from-self"]
+
+    def test_send_after_delivery(self):
+        sim = PartitionSimulator(0, sanitize=True)
+        sim._san.raise_on_violation = False
+        sim.insert_arrival(100, self._arrival_seq(150, 1), lambda a: None, None)
+        assert [v.kind for v in sim._san.violations] == ["send-after-delivery"]
+
+    def test_sanitized_partition_runs_events(self):
+        sim = PartitionSimulator(0, sanitize=True)
+        fired = []
+        sim.schedule(10, lambda: fired.append(sim.now))
+        sim.schedule_many([(5, lambda: fired.append(sim.now))])
+        sim.insert_arrival(20, self._arrival_seq(15, 1), fired.append, 99)
+        assert sim.run() == 3
+        assert fired == [5, 10, 99]
+        assert sim._san.violations == []
+
+
+class TestTransparency:
+    CFG = dict(
+        scheme="tcn", scheduler="dwrr", load=0.7, n_flows=40, seed=1,
+    )
+
+    def _facts(self, result):
+        return (
+            result.completed, result.total, result.timeouts,
+            result.drops, result.marks, result.sim_ns,
+        )
+
+    def test_serial_run_is_bit_identical(self):
+        plain = run_experiment(ExperimentConfig(**self.CFG))
+        detach()
+        packet.reset_freelist()
+        sanitized = run_experiment(ExperimentConfig(sanitize=True, **self.CFG))
+        assert self._facts(plain) == self._facts(sanitized)
+        assert sanitized.profile["equeue"] == "sanitize(heap)"
+
+    def test_leafspine_slice_is_bit_identical(self):
+        cfg = dict(
+            scheme="tcn", scheduler="sp_dwrr", topology="leafspine",
+            workload="mixed", load=0.6, n_flows=60, seed=3,
+        )
+        plain = run_experiment(ExperimentConfig(**cfg))
+        detach()
+        packet.reset_freelist()
+        sanitized = run_experiment(ExperimentConfig(sanitize=True, **cfg))
+        assert self._facts(plain) == self._facts(sanitized)
+
+    def test_off_means_no_wrapper_and_no_hook(self, monkeypatch):
+        # force the default path even when the suite runs sanitized
+        monkeypatch.delenv("REPRO_SANITIZE", raising=False)
+        sim = Simulator()
+        assert sim._san is None
+        assert sim._heap is not None
+        assert packet._san is None
+
+    def test_on_disables_backend_specialization(self):
+        sim = Simulator(sanitize=True)
+        assert sim._heap is None and sim._ladder is None
+        assert sim.equeue_name == "sanitize(heap)"
+        assert packet._san is sim._san
+
+    def test_config_fingerprint_ignores_sanitize(self):
+        from repro.harness.sweep import config_fingerprint
+
+        a = config_fingerprint(ExperimentConfig(**self.CFG))
+        b = config_fingerprint(ExperimentConfig(sanitize=True, **self.CFG))
+        assert a == b
+
+
+class TestEnvSwitch:
+    def test_env_enabled_parsing(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SANITIZE", raising=False)
+        assert not env_enabled()
+        monkeypatch.setenv("REPRO_SANITIZE", "0")
+        assert not env_enabled()
+        monkeypatch.setenv("REPRO_SANITIZE", "1")
+        assert env_enabled()
+
+    def test_env_arms_default_constructed_simulator(self):
+        # subprocess: the hook is process-global and engine construction
+        # reads the env at call time — keep this hermetic
+        code = (
+            "import sys; sys.path.insert(0, 'src')\n"
+            "from repro.sim.engine import Simulator\n"
+            "sim = Simulator()\n"
+            "assert sim.equeue_name == 'sanitize(heap)', sim.equeue_name\n"
+            "print('armed')\n"
+        )
+        env = dict(os.environ, REPRO_SANITIZE="1", PYTHONPATH="src")
+        proc = subprocess.run(
+            [sys.executable, "-c", code],
+            capture_output=True, text=True, env=env,
+            cwd=os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+        )
+        assert proc.returncode == 0, proc.stderr
+        assert proc.stdout.strip() == "armed"
+
+    def test_explicit_false_beats_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SANITIZE", "1")
+        sim = Simulator(sanitize=False)
+        assert sim._san is None

@@ -18,11 +18,15 @@ from repro.analysis import (
     Baseline,
     lint_paths,
     registered_rules,
+    rule_range,
 )
 from repro.analysis.cli import main as lint_main
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
 FIXTURE_ROOT = REPO_ROOT / "tests" / "simlint_fixtures"
+#: cross-module pragma fixtures — a separate root so the seeded SIM015
+#: stays out of the main fixture sweep (fixture_files rglobs repro/)
+XMOD_ROOT = FIXTURE_ROOT / "xmod"
 EXPECT_RE = re.compile(r"#\s*expect:\s*(?P<rules>SIM\d{3}(?:\s*,\s*SIM\d{3})*)")
 
 
@@ -152,6 +156,154 @@ class TestPragmas:
             "t = time.time()\n",
         )
         assert [f.rule for f in result.findings] == ["SIM001"]
+
+
+class TestCrossModulePragmas:
+    """A cross-module finding (source in one file, sink in another) has
+    exactly one suppression site: the line the finding anchors at — the
+    sink.  A pragma at the *source* (the helper's release) suppresses
+    nothing and is itself reported as unused."""
+
+    def _copy_tree(self, tmp_path, edit=None):
+        """Copy the xmod fixture pair into tmp_path, optionally editing."""
+        for src in sorted(XMOD_ROOT.rglob("*.py")):
+            rel = src.relative_to(XMOD_ROOT)
+            dst = tmp_path / rel
+            dst.parent.mkdir(parents=True, exist_ok=True)
+            text = src.read_text()
+            if edit is not None:
+                text = edit(rel.as_posix(), text)
+            dst.write_text(text)
+        return [tmp_path / "repro"]
+
+    def test_finding_anchors_at_the_sink(self):
+        result = lint_paths([XMOD_ROOT / "repro"], root=XMOD_ROOT)
+        assert [f.rule for f in result.findings] == ["SIM015"]
+        finding = result.findings[0]
+        assert finding.path == "repro/transport/caller.py"
+        assert finding.snippet == "return pkt.seq"
+        assert "surrender()" in finding.message
+
+    def test_pragma_at_the_sink_suppresses(self, tmp_path):
+        def edit(rel, text):
+            if rel.endswith("caller.py"):
+                text = text.replace(
+                    "return pkt.seq",
+                    "return pkt.seq  # simlint: disable=SIM015 "
+                    "-- frame provably requeued before surrender",
+                )
+            return text
+
+        paths = self._copy_tree(tmp_path, edit)
+        result = lint_paths(paths, root=tmp_path)
+        assert result.findings == []
+
+    def test_pragma_at_the_source_does_not_suppress(self, tmp_path):
+        def edit(rel, text):
+            if rel.endswith("helper.py"):
+                text = text.replace(
+                    "release(frame)",
+                    "release(frame)  # simlint: disable=SIM015 "
+                    "-- helper is allowed to release",
+                )
+            return text
+
+        paths = self._copy_tree(tmp_path, edit)
+        result = lint_paths(paths, root=tmp_path)
+        by_rule = {}
+        for f in result.findings:
+            by_rule.setdefault(f.rule, []).append(f)
+        # the sink finding survives...
+        assert [f.path for f in by_rule["SIM015"]] == [
+            "repro/transport/caller.py"
+        ]
+        # ...and the source-side pragma is flagged as suppressing nothing
+        assert [f.path for f in by_rule["SIM000"]] == [
+            "repro/transport/helper.py"
+        ]
+        assert "unused" in by_rule["SIM000"][0].message
+
+    def test_cross_module_finding_is_baselinable(self, tmp_path):
+        first = lint_paths([XMOD_ROOT / "repro"], root=XMOD_ROOT)
+        baseline = Baseline.from_findings(first.findings)
+        again = lint_paths(
+            [XMOD_ROOT / "repro"], root=XMOD_ROOT, baseline=baseline
+        )
+        assert again.ok
+        assert len(again.baselined) == 1
+
+
+class TestRuleRange:
+    def test_range_tracks_the_registry(self):
+        ids = sorted(r for r in registered_rules() if r != "SIM000")
+        assert rule_range() == f"{ids[0]}..{ids[-1]}"
+        # the span that once went stale in help text must stay derived
+        assert rule_range() >= "SIM001..SIM014"
+
+    def test_cli_description_uses_derived_range(self, capsys):
+        from repro.analysis.cli import build_parser
+
+        assert rule_range() in build_parser().description
+        assert "SIM001..SIM010" not in build_parser().description
+
+
+class TestChangedFlag:
+    def _git(self, cwd, *args):
+        subprocess.run(
+            ["git", *args], cwd=cwd, check=True, capture_output=True,
+            env=dict(
+                os.environ,
+                GIT_AUTHOR_NAME="t", GIT_AUTHOR_EMAIL="t@t",
+                GIT_COMMITTER_NAME="t", GIT_COMMITTER_EMAIL="t@t",
+            ),
+        )
+
+    def _repo_with_commit(self, tmp_path):
+        self._git(tmp_path, "init", "-q")
+        src = tmp_path / "src" / "repro"
+        src.mkdir(parents=True)
+        (src / "clean.py").write_text("x = 1\n")
+        (src / "other.py").write_text("y = 2\n")
+        self._git(tmp_path, "add", "-A")
+        self._git(tmp_path, "commit", "-qm", "seed")
+        return src
+
+    def test_changed_lints_only_touched_files(self, tmp_path, capsys):
+        src = self._repo_with_commit(tmp_path)
+        (src / "clean.py").write_text(
+            "import time\nt = time.time()\n"
+        )
+        code = lint_main(["--root", str(tmp_path), "--changed"])
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "clean.py" in out and "SIM001" in out
+        assert "other.py" not in out
+
+    def test_changed_with_no_changes_is_clean(self, tmp_path, capsys):
+        self._repo_with_commit(tmp_path)
+        code = lint_main(["--root", str(tmp_path), "--changed"])
+        assert code == 0
+        assert "no changed Python files" in capsys.readouterr().out
+
+    def test_changed_skips_files_outside_the_targets(self, tmp_path, capsys):
+        self._repo_with_commit(tmp_path)
+        stray = tmp_path / "scripts"
+        stray.mkdir()
+        (stray / "tool.py").write_text("z = 1\n")
+        self._git(tmp_path, "add", "-A")
+        self._git(tmp_path, "commit", "-qm", "stray")
+        # a *tracked* change outside src/repro: in the diff, out of scope
+        (stray / "tool.py").write_text("import time\nt = time.time()\n")
+        code = lint_main(["--root", str(tmp_path), "--changed"])
+        assert code == 0
+        assert "no changed Python files" in capsys.readouterr().out
+
+    def test_bad_base_exits_two(self, tmp_path, capsys):
+        self._repo_with_commit(tmp_path)
+        code = lint_main(
+            ["--root", str(tmp_path), "--changed", "no-such-ref"]
+        )
+        assert code == 2
 
 
 class TestBaseline:
