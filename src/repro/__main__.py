@@ -29,6 +29,12 @@ Examples::
     # hot-path microbenchmarks; gate against the committed baselines
     python -m repro bench --out bench-out --compare benchmarks/baselines
 
+    # hybrid fluid/packet mode: long flows on the fluid solver
+    python -m repro run --topology leafspine --workload bulk --mode hybrid
+
+    # cross-validate fluid/hybrid accuracy against the packet engine
+    python -m repro fluidcheck --json fluidcheck.json
+
     # simlint: determinism/hot-path static analysis (`--list-rules`
     # prints the current rule set)
     python -m repro lint --format json
@@ -144,6 +150,23 @@ def build_parser() -> argparse.ArgumentParser:
             "double-release poisoning, event-queue order checks, "
             "partition-ownership assertions (see docs/STATIC_ANALYSIS.md; "
             "also REPRO_SANITIZE=1)"
+        ),
+    )
+    parser.add_argument(
+        "--mode", default="packet", choices=("packet", "fluid", "hybrid"),
+        help=(
+            "simulation mode: 'packet' is the exact packet engine "
+            "(default); 'fluid' solves every flow as a fluid rate; "
+            "'hybrid' promotes flows of at least --fluid-size-bytes to "
+            "the fluid solver and keeps short flows packet-exact (see "
+            "docs/FLUID.md)"
+        ),
+    )
+    parser.add_argument(
+        "--fluid-size-bytes", type=int, default=1_000_000,
+        help=(
+            "hybrid-mode promotion threshold in bytes: flows at least "
+            "this large go fluid (default 1000000)"
         ),
     )
     parser.add_argument(
@@ -294,6 +317,19 @@ def build_sweep_parser() -> argparse.ArgumentParser:
         ),
     )
     parser.add_argument(
+        "--mode", default="packet", choices=("packet", "fluid", "hybrid"),
+        help=(
+            "simulation mode for every grid point (result-affecting: "
+            "cached results are keyed by it; see docs/FLUID.md)"
+        ),
+    )
+    parser.add_argument(
+        "--fluid-size-bytes", type=int, default=1_000_000,
+        help=(
+            "hybrid-mode promotion threshold in bytes (default 1000000)"
+        ),
+    )
+    parser.add_argument(
         "--spans", metavar="PATH", default=None,
         help=(
             "record the sweep pool's job-lifecycle spans (dispatch -> "
@@ -302,6 +338,58 @@ def build_sweep_parser() -> argparse.ArgumentParser:
         ),
     )
     return parser
+
+
+def build_fluidcheck_parser() -> argparse.ArgumentParser:
+    from repro.harness.fluidcheck import CHECK_CONFIGS
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro fluidcheck",
+        description=(
+            "Cross-validate fluid/hybrid FCT and goodput against the "
+            "packet engine on the pinned configs (see docs/FLUID.md); "
+            "exit 1 on any tolerance violation."
+        ),
+    )
+    parser.add_argument(
+        "--config",
+        action="append",
+        choices=sorted(CHECK_CONFIGS),
+        help="pinned config to check (repeatable; default: all)",
+    )
+    parser.add_argument(
+        "--mode",
+        action="append",
+        choices=("hybrid", "fluid"),
+        help="mode to cross-validate (repeatable; default: both)",
+    )
+    parser.add_argument(
+        "--json",
+        metavar="FILE",
+        default=None,
+        help="also write the checks as a JSON artifact (CI uploads it)",
+    )
+    return parser
+
+
+def fluidcheck_main(argv=None) -> int:
+    from repro.harness.fluidcheck import run_fluidcheck, write_json
+
+    args = build_fluidcheck_parser().parse_args(argv)
+    checks = run_fluidcheck(
+        configs=args.config, modes=tuple(args.mode or ("hybrid", "fluid"))
+    )
+    violations = 0
+    for check in checks:
+        print(check.describe())
+        violations += 0 if check.ok else 1
+    if args.json is not None:
+        write_json(checks, args.json)
+        print(f"fluidcheck JSON -> {args.json}")
+    if violations:
+        print(f"{violations} tolerance violation(s)", file=sys.stderr)
+        return 1
+    return 0
 
 
 def _sweep_label(result: SweepResult) -> str:
@@ -333,6 +421,8 @@ def sweep_main(argv=None) -> int:
             pias=args.pias,
             buffer_bytes=args.buffer_kb * KB,
             equeue=args.equeue,
+            mode=args.mode,
+            fluid_size_bytes=args.fluid_size_bytes,
         )
         for scheme, scheduler, transport, workload, load, seed in grid
     ]
@@ -508,6 +598,8 @@ def _config_from_args(args: argparse.Namespace) -> ExperimentConfig:
         workers=args.workers,
         batch=args.batch,
         sanitize=args.sanitize,
+        mode=args.mode,
+        fluid_size_bytes=args.fluid_size_bytes,
     )
 
 
@@ -530,6 +622,8 @@ def main(argv=None) -> int:
         from repro.analysis.cli import main as lint_main
 
         return lint_main(argv[1:])
+    if argv and argv[0] == "fluidcheck":
+        return fluidcheck_main(argv[1:])
     if argv and argv[0] == "run":
         # explicit subcommand form; bare flags still mean "run" for
         # backward compatibility

@@ -1550,3 +1550,128 @@ def check_api_confinement(
                         break
             if entry is not None:
                 yield mod.finding(entry.rule_id, node, entry.message)
+
+
+# -- SIM018: fluid-solver discipline ------------------------------------------
+
+_FLUID_PKG = ("repro", "sim", "fluid")
+
+#: the packet-freelist surface the fluid package may never touch
+_FLUID_FREELIST_NAMES = frozenset(
+    {"make_data", "make_ack", "make_data_run", "release", "reset_freelist"}
+)
+_FLUID_FORBIDDEN_MODULE = "repro.net.packet"
+
+
+def _fluid_mutator(name: str) -> bool:
+    """Function names allowed to mutate fluid state.
+
+    ``__init__`` builds the objects; ``on_*`` are the scheduled event
+    entry points; ``_epoch*`` are the epoch-boundary phases they call
+    (settle / resolve / apply / arm / restore).  Everything else in the
+    package is a pure helper.
+    """
+    return (
+        name == "__init__"
+        or name.startswith("on_")
+        or name.startswith("_epoch")
+    )
+
+
+@rule(
+    "SIM018",
+    "fluid-epoch-discipline",
+    rationale=(
+        "The fluid solver is a rate abstraction: it must never construct "
+        "or release pooled frames (frame lifetime is the packet engine's "
+        "contract, guarded by the freelist counters and the sanitizer "
+        "poisoning protocol), and fluid state may move only at epoch "
+        "boundaries — mutation scattered through helpers breaks the "
+        "piecewise-constant-rate invariant the epoch algebra "
+        "(settle -> resolve -> apply -> arm) and the fluid digest pins "
+        "rely on."
+    ),
+)
+def check_fluid_discipline(mod: ModuleInfo) -> Iterator[Finding]:
+    """In ``repro.sim.fluid`` only: (a) importing ``repro.net.packet`` —
+    or naming any freelist constructor/release — is forbidden: fluid
+    flows are rates, not frames; (b) attribute stores are confined to
+    ``__init__`` and the epoch-boundary entry points (functions named
+    ``on_*`` / ``_epoch*``) — helpers compute and return, they do not
+    mutate.  Subscript stores (the solver's work arrays) are always
+    allowed.  The packet side of the coupling (the port reading
+    ``port.fluid``) lives outside this package and is deliberately out
+    of scope."""
+    parts = mod.package_parts()
+    if parts[: len(_FLUID_PKG)] != _FLUID_PKG:
+        return
+    for node in ast.walk(mod.tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.name == _FLUID_FORBIDDEN_MODULE or alias.name.startswith(
+                    _FLUID_FORBIDDEN_MODULE + "."
+                ):
+                    yield mod.finding(
+                        "SIM018",
+                        node,
+                        "repro.net.packet imported in the fluid package — "
+                        "fluid flows are rates, not frames",
+                    )
+        elif isinstance(node, ast.ImportFrom):
+            module = node.module or ""
+            if module == _FLUID_FORBIDDEN_MODULE or module.startswith(
+                _FLUID_FORBIDDEN_MODULE + "."
+            ):
+                yield mod.finding(
+                    "SIM018",
+                    node,
+                    "repro.net.packet imported in the fluid package — "
+                    "fluid flows are rates, not frames",
+                )
+            else:
+                hit = sorted(
+                    {a.name for a in node.names} & _FLUID_FREELIST_NAMES
+                )
+                if hit:
+                    yield mod.finding(
+                        "SIM018",
+                        node,
+                        f"freelist name(s) {', '.join(hit)} imported in the "
+                        "fluid package — the packet freelist is off-limits "
+                        "to the fluid solver",
+                    )
+        elif isinstance(node, ast.Call):
+            func = node.func
+            name = (
+                func.id
+                if isinstance(func, ast.Name)
+                else func.attr if isinstance(func, ast.Attribute) else None
+            )
+            if name in _FLUID_FREELIST_NAMES:
+                yield mod.finding(
+                    "SIM018",
+                    node,
+                    f"{name}() called in the fluid package — the packet "
+                    "freelist is off-limits to the fluid solver",
+                )
+    for scope, body in _scopes(mod.tree):
+        if isinstance(
+            scope, (ast.FunctionDef, ast.AsyncFunctionDef)
+        ) and _fluid_mutator(scope.name):
+            continue
+        where = (
+            "at module level"
+            if isinstance(scope, ast.Module)
+            else f"in helper {scope.name}()"
+        )
+        for node in _walk_scope(body):
+            if isinstance(node, ast.Attribute) and isinstance(
+                node.ctx, (ast.Store, ast.Del)
+            ):
+                yield mod.finding(
+                    "SIM018",
+                    node,
+                    f"fluid state mutated {where} — mutation is confined "
+                    "to __init__ and the epoch-boundary entry points "
+                    "(on_* / _epoch*)",
+                )

@@ -91,6 +91,17 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     parser.add_argument(
+        "--mode",
+        choices=("packet", "fluid", "hybrid"),
+        default=None,
+        help=(
+            "override every scenario's pinned simulation mode (default: "
+            "each scenario's own — packet for all but leafspine_fluid). "
+            "Modes do different work, so do not gate (--compare) "
+            "against baselines of another mode"
+        ),
+    )
+    parser.add_argument(
         "--sanitize",
         action="store_true",
         help=(
@@ -209,15 +220,21 @@ def main(argv=None) -> int:
     results = []
     for name in names:
         spans = SpanRecorder(pid="run") if args.spans is not None else None
-        result = run_scenario(
-            name,
-            repeat=args.repeat,
-            equeue=args.equeue,
-            workers=args.workers,
-            spans=spans,
-            batch=args.batch,
-            sanitize=args.sanitize,
-        )
+        try:
+            result = run_scenario(
+                name,
+                repeat=args.repeat,
+                equeue=args.equeue,
+                workers=args.workers,
+                spans=spans,
+                batch=args.batch,
+                sanitize=args.sanitize,
+                mode=args.mode,
+            )
+        except ValueError as exc:
+            # e.g. --mode on a scenario with nothing to promote
+            print(f"error: {name}: {exc}", file=sys.stderr)
+            return 2
         results.append(result)
         path = write_result(result, args.out)
         print(f"{result.describe()} -> {path}")

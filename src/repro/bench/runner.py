@@ -73,6 +73,13 @@ class BenchResult:
     #: batched hot-path counters (runs_drained, trains, train_pkts,
     #: train_fallbacks, run/train histograms); empty in old baselines
     batch_stats: Dict[str, object] = field(default_factory=dict)
+    #: simulation mode the scenario ran in (packet / fluid / hybrid);
+    #: baselines of different modes are not throughput-comparable
+    mode: str = "packet"
+    #: FluidNetwork.stats_dict() counters (promoted flows, epochs,
+    #: solver iterations, threshold crossings); empty for packet runs
+    #: and in old baselines
+    fluid_stats: Dict[str, int] = field(default_factory=dict)
 
     def as_dict(self) -> Dict[str, object]:
         return {
@@ -98,6 +105,8 @@ class BenchResult:
             "phase_stats": self.phase_stats,
             "batch": self.batch,
             "batch_stats": self.batch_stats,
+            "mode": self.mode,
+            "fluid_stats": self.fluid_stats,
         }
 
     @classmethod
@@ -127,6 +136,9 @@ class BenchResult:
             # path carry neither key
             batch=bool(data.get("batch", True)),
             batch_stats=dict(data.get("batch_stats", {})),  # type: ignore[arg-type]
+            # default-tolerant too: pre-fluid baselines are packet runs
+            mode=str(data.get("mode", "packet")),
+            fluid_stats=dict(data.get("fluid_stats", {})),  # type: ignore[arg-type]
         )
 
     def describe(self) -> str:
@@ -137,6 +149,14 @@ class BenchResult:
             pct = 100.0 * alloc["packets_reused"] / total if total else 0.0
             reuse = f", {pct:.0f}% pkt reuse"
         backend = f", equeue {self.equeue}" if self.equeue != "heap" else ""
+        fluid = ""
+        if self.mode != "packet":
+            fluid = f", {self.mode} mode"
+            if self.fluid_stats:
+                fluid += (
+                    f" ({self.fluid_stats.get('flows', 0)} fluid flows, "
+                    f"{self.fluid_stats.get('epochs', 0)} epochs)"
+                )
         par = ""
         if self.workers:
             par = f", {self.workers} workers on {self.cpu_count} cpus"
@@ -150,7 +170,7 @@ class BenchResult:
         return (
             f"{self.scenario}: {self.events_per_sec / 1e3:.0f}k ev/s "
             f"({self.events} events, {self.wall_s:.2f}s wall, "
-            f"heap hwm {self.heap_hwm}{reuse}{backend}{par})"
+            f"heap hwm {self.heap_hwm}{reuse}{backend}{fluid}{par})"
         )
 
 
@@ -162,6 +182,7 @@ def run_scenario(
     spans: Optional["SpanRecorder"] = None,
     batch: bool = True,
     sanitize: bool = False,
+    mode: Optional[str] = None,
 ) -> BenchResult:
     """Run one pinned scenario ``repeat`` times; keep the fastest.
 
@@ -178,8 +199,14 @@ def run_scenario(
     costs a little wall time per chunk/round boundary, so spans-on
     numbers are not comparable with spans-off baselines — keep the flag
     off for regression gating.
+
+    ``mode`` overrides the scenario's pinned simulation mode (None runs
+    the pin).  Modes do different work by design, so mode-crossed
+    comparisons are apples-to-oranges — the recorded ``BenchResult.mode``
+    lets the reader catch that.
     """
     scenario = SCENARIOS[name]
+    effective_mode = mode if mode is not None else scenario.mode
     spans_on = spans is not None and spans.enabled
     best_profile: Optional[Dict[str, object]] = None
     best_spans: Optional["SpanRecorder"] = None
@@ -192,7 +219,7 @@ def run_scenario(
             rep_spans = SpanRecorder(capacity=spans.capacity, pid=spans.pid)
         profile, run_fingerprint = scenario.run(
             equeue=equeue, workers=workers, spans=rep_spans, batch=batch,
-            sanitize=sanitize,
+            sanitize=sanitize, mode=mode,
         )
         allocated, reused, _free = freelist_stats()
         if fingerprint is not None and dict(run_fingerprint) != dict(
@@ -237,6 +264,8 @@ def run_scenario(
         sync_stall_s=float(best_profile.get("sync_stall_s", 0.0)),  # type: ignore[arg-type]
         start_method=str(best_profile.get("start_method", "")),
         phase_stats=dict(best_profile.get("phase_stats", {})),  # type: ignore[call-overload]
+        mode=effective_mode,
+        fluid_stats=dict(best_profile.get("fluid_stats", {})),  # type: ignore[arg-type,call-overload]
         batch=batch,
         batch_stats={
             k: best_profile[k]

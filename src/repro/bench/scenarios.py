@@ -35,6 +35,9 @@ class Scenario(NamedTuple):
     name: str
     description: str
     run: RunFn
+    #: the simulation mode the scenario pins (the bench CLI's --mode
+    #: overrides it run-wide; results are not comparable across modes)
+    mode: str = "packet"
 
 
 def _engine_churn(
@@ -43,6 +46,7 @@ def _engine_churn(
     spans: Optional[SpanRecorder] = None,
     batch: bool = True,
     sanitize: bool = False,
+    mode: Optional[str] = None,
 ) -> Tuple[Profile, Fingerprint]:
     """Pure engine stress: a rotating timer set under constant churn.
 
@@ -62,6 +66,10 @@ def _engine_churn(
     if workers:
         raise ValueError(
             "engine_churn has no fabric to partition (workers must be 0)"
+        )
+    if mode not in (None, "packet"):
+        raise ValueError(
+            "engine_churn has no flows to promote (mode must be packet)"
         )
     steps = 200_000
     k_timers = 256
@@ -106,11 +114,15 @@ def _experiment(**overrides) -> RunFn:
         spans: Optional[SpanRecorder] = None,
         batch: bool = True,
         sanitize: bool = False,
+        mode: Optional[str] = None,
     ) -> Tuple[Profile, Fingerprint]:
+        params = dict(overrides)
+        if mode is not None:
+            params["mode"] = mode
         result = run_experiment(
             ExperimentConfig(
                 equeue=equeue, workers=workers, batch=batch,
-                sanitize=sanitize, **overrides
+                sanitize=sanitize, **params
             ),
             spans=spans,
         )
@@ -122,6 +134,13 @@ def _experiment(**overrides) -> RunFn:
             "marks": result.marks,
             "sim_ns": result.sim_ns,
         }
+        # the fluid engine's epoch/solver counters are deterministic
+        # run properties too — pin them so a solver change that alters
+        # the work done surfaces as a fingerprint note, not silence
+        fluid = result.profile.get("fluid_stats")
+        if isinstance(fluid, dict) and fluid:
+            fingerprint["fluid_epochs"] = int(fluid.get("epochs", 0))
+            fingerprint["fluid_completed"] = int(fluid.get("completed", 0))
         return dict(result.profile), fingerprint
 
     return run
@@ -189,6 +208,28 @@ SCENARIOS: Dict[str, Scenario] = {
                 n_flows=120,
                 seed=3,
             ),
+        ),
+        Scenario(
+            "leafspine_fluid",
+            "4x4 leaf-spine, bulk workload, hybrid mode: ~70 long "
+            "(25 MB) flows on the fluid solver, shorts packet-exact "
+            "(the packet-mode A/B of this exact config is the speedup "
+            "evidence in docs/FLUID.md)",
+            _experiment(
+                scheme="tcn",
+                scheduler="sp_dwrr",
+                topology="leafspine",
+                n_leaf=4,
+                n_spine=4,
+                hosts_per_leaf=4,
+                workload="bulk",
+                load=0.7,
+                n_flows=100,
+                seed=5,
+                mode="hybrid",
+                fluid_size_bytes=1_000_000,
+            ),
+            mode="hybrid",
         ),
     )
 }

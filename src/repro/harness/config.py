@@ -81,6 +81,19 @@ class ExperimentConfig:
     # NIC FIFO by tens of milliseconds.  cwnd <= max(64, factor x BDP).
     max_cwnd_bdp_factor: float = 4.0
 
+    # Simulation mode (repro.sim.fluid): "packet" simulates every flow
+    # packet-by-packet (the default — the engine every digest pins);
+    # "fluid" models every flow as a piecewise-constant rate solved at
+    # epochs; "hybrid" promotes flows of at least `fluid_size_bytes` to
+    # fluid while short flows stay packet-exact, with two-way coupling
+    # (fluid load sets residual port rates / standing-queue delay /
+    # marking; measured packet throughput feeds back into the solver).
+    # Unlike equeue/workers/batch this is NOT a pure performance knob —
+    # fluid results are an approximation — so the sweep cache
+    # fingerprint includes both fields.  See docs/FLUID.md.
+    mode: str = "packet"
+    fluid_size_bytes: int = 1_000_000
+
     # bookkeeping
     seed: int = 1
     max_sim_ns: int = 0            # 0 -> auto (generous multiple of last arrival)
@@ -137,6 +150,20 @@ class ExperimentConfig:
             raise ValueError(
                 "workers >= 1 (the partitioned engine) requires the "
                 f"leafspine topology, got {self.topology!r}"
+            )
+        if self.mode not in ("packet", "fluid", "hybrid"):
+            raise ValueError(
+                f"unknown mode {self.mode!r}: expected packet, fluid, "
+                "or hybrid"
+            )
+        if self.fluid_size_bytes < 1:
+            raise ValueError(
+                f"fluid_size_bytes must be >= 1, got {self.fluid_size_bytes}"
+            )
+        if self.workers and self.mode != "packet":
+            raise ValueError(
+                "the partitioned engine (workers >= 1) only runs the "
+                f"packet engine, got mode={self.mode!r}"
             )
 
     # -- derived constants -----------------------------------------------

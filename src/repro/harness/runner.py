@@ -32,6 +32,7 @@ from repro.obs import (
 from repro.obs.spans import wall_ns
 from repro.pias.tagger import PiasTagger
 from repro.sim.engine import Simulator
+from repro.sim.fluid import build_fluid_network, split_flows
 from repro.sim.rng import RngFactory
 from repro.topo.leafspine import LeafSpineTopology
 from repro.topo.star import StarTopology
@@ -113,7 +114,24 @@ def run_experiment(
     flows = _build_flows(cfg, rng, topo)
     collector = FctCollector()
     tagger = _build_tagger(cfg)
-    senders = _wire_endpoints(sim, cfg, topo, flows, collector, tagger)
+    # mode dispatch: promoted flows never get senders/receivers — they
+    # live as rates in the fluid engine and complete into the same
+    # collector; `flows` (and the completion condition below) still
+    # cover both populations
+    packet_flows, fluid_flows = split_flows(cfg, flows)
+    senders = _wire_endpoints(sim, cfg, topo, packet_flows, collector, tagger)
+    fluid_net = None
+    if fluid_flows:
+        fluid_net = build_fluid_network(
+            sim,
+            cfg,
+            topo,
+            fluid_flows,
+            collector,
+            spans=spans,
+            hybrid=bool(packet_flows),
+        )
+        fluid_net.on_start()
     switches = _switches_of(topo)
     if tracer is not None and tracer.enabled:
         # Switch egress ports carry the AQM/scheduler behaviour under
@@ -210,7 +228,10 @@ def run_experiment(
         flows=flows,
         metrics=registry.snapshot(),
         profile=RunProfile.capture(
-            sim, run_loop_s, rss_floor=rss.hwm_bytes
+            sim,
+            run_loop_s,
+            rss_floor=rss.hwm_bytes,
+            fluid_stats=fluid_net.stats_dict() if fluid_net else None,
         ).as_dict(),
     )
 
@@ -467,4 +488,18 @@ def _deadline_ns(cfg: ExperimentConfig, flows: List[Flow]) -> int:
         return cfg.max_sim_ns
     last_arrival = max(f.start_ns for f in flows)
     # generous drain allowance: the whole workload again, plus 2 s of slack
-    return last_arrival * 3 + 2 * SEC
+    deadline = last_arrival * 3 + 2 * SEC
+    if cfg.mode != "packet":
+        # Fluid scenarios are chosen *because* their transfers outlast
+        # the arrival window (a 25 MB flow at a contended 1 Gbps share
+        # drains for seconds); bound the tail by the time the whole
+        # promoted volume would take serialized through one edge link,
+        # with the same generosity factor.  Epochs make the extra
+        # simulated time nearly free.
+        promoted = sum(
+            f.size_bytes
+            for f in flows
+            if cfg.mode == "fluid" or f.size_bytes >= cfg.fluid_size_bytes
+        )
+        deadline += 4 * promoted * 8 * SEC // cfg.link_rate_bps
+    return deadline

@@ -87,6 +87,7 @@ class EgressPort:
         "pool",
         "occupancy_tracker",
         "tracer",
+        "fluid",
         "_qindex",
         "_fifo",
         "_tx_done_cb",
@@ -146,6 +147,13 @@ class EgressPort:
         self.occupancy_tracker: Optional[Callable[[int, int], None]] = None
         #: optional repro.obs.Tracer; None keeps the hot path branch-only
         self.tracer = None
+        #: hybrid fluid-mode coupling: when the port carries fluid
+        #: background load across a saturated link, this holds the
+        #: repro.sim.fluid FluidLink whose ``mark_frac`` sets the CE
+        #: probability packet flows should see on top of it.  None (the
+        #: default, and the only value outside hybrid runs) keeps the
+        #: ingress path to a single predicted-not-taken branch.
+        self.fluid = None
         # Stable queue-object -> global-index map for trace labels: hybrid
         # schedulers rewrite queue.index to band-local values, so position
         # in scheduler.queues is the only trustworthy global identity.
@@ -237,6 +245,18 @@ class EgressPort:
         scheduler = self.scheduler
         now = self.sim.now
         pkt.enq_ts = now
+        fl = self.fluid
+        if fl is not None and pkt.ect:
+            # hybrid coupling: the fluid background load holds this
+            # link's queue at the AQM threshold, so transiting packet
+            # flows must see its marking rate.  Deterministic
+            # accumulator thinning — every 1/mark_frac-th ECT packet is
+            # CE-marked — keeps runs bit-reproducible (no RNG).
+            acc = fl.mark_acc + fl.mark_frac
+            if acc >= 1.0:
+                acc -= 1.0
+                self._mark(pkt, scheduler.queues[qidx], "enq")
+            fl.mark_acc = acc
         aqm_enq = self._aqm_enq
         if aqm_enq is not None:
             queue = scheduler.queues[qidx]

@@ -53,10 +53,19 @@ class RunProfile:
     train_hist: List[int] = field(default_factory=lambda: [0] * 18)
     #: trains cut short by an unsafe inline step (competing event)
     train_fallbacks: int = 0
+    # -- fluid/hybrid mode (empty for pure packet runs) ------------------
+    #: FluidNetwork.stats_dict(): promoted flows, epochs, solver
+    #: iterations, threshold crossings — deterministic properties of the
+    #: run, reported so fluid epoch cost stays observable in benches
+    fluid_stats: Dict[str, int] = field(default_factory=dict)
 
     @classmethod
     def capture(
-        cls, sim: Simulator, wall_s: float, rss_floor: int = 0
+        cls,
+        sim: Simulator,
+        wall_s: float,
+        rss_floor: int = 0,
+        fluid_stats: "Dict[str, int] | None" = None,
     ) -> "RunProfile":
         """Snapshot the run's counters.
 
@@ -82,6 +91,7 @@ class RunProfile:
             train_pkts=sim.train_pkts,
             train_hist=list(sim.train_hist),
             train_fallbacks=sim.train_fallbacks,
+            fluid_stats=dict(fluid_stats) if fluid_stats else {},
         )
 
     @classmethod
@@ -110,6 +120,7 @@ class RunProfile:
                 "train_pkts",
                 "train_hist",
                 "train_fallbacks",
+                "fluid_stats",
             )
             if f in d
         }
@@ -130,6 +141,7 @@ class RunProfile:
             "train_pkts": self.train_pkts,
             "train_hist": list(self.train_hist),
             "train_fallbacks": self.train_fallbacks,
+            "fluid_stats": dict(self.fluid_stats),
         }
 
     def describe(self) -> str:
@@ -143,6 +155,12 @@ class RunProfile:
             parts.append(f"equeue {self.equeue}")
         if self.rss_hwm_bytes:
             parts.append(f"rss high-water {self.rss_hwm_bytes / 2**20:.0f} MB")
+        if self.fluid_stats:
+            parts.append(
+                f"fluid {self.fluid_stats.get('completed', 0)}"
+                f"/{self.fluid_stats.get('flows', 0)} flows "
+                f"in {self.fluid_stats.get('epochs', 0)} epochs"
+            )
         return ", ".join(parts)
 
 

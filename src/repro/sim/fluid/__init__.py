@@ -1,0 +1,39 @@
+"""Fluid-flow simulation: long flows as rates, not packets.
+
+Long-lived flows dominate event counts (a 25 MB transfer is ~17k data
+packets, each costing several events) while their behaviour is the part
+of the system analytical models describe best: DCTCP drives every
+long flow to its max-min fair share and holds the bottleneck queue at
+the marking threshold.  This package models exactly that — flows become
+piecewise-constant rates solved per link, re-evaluated only at
+*rate-change epochs* (flow start/finish, share change, AQM threshold
+crossing), so a second of simulated time costs hundreds of events
+instead of millions.
+
+Three pieces:
+
+* :mod:`repro.sim.fluid.solver` — progressive water-filling max-min
+  fair shares (the classical fluid abstraction; the analytical ECN
+  treatment follows PCN's admission model, arxiv 1208.2314).
+* :mod:`repro.sim.fluid.model` — per-flow / per-link fluid state.
+* :mod:`repro.sim.fluid.network` — the epoch engine riding the normal
+  :class:`~repro.sim.engine.Simulator` event queue, plus the hybrid
+  coupling to packet-mode :class:`~repro.net.port.EgressPort` s.
+
+See ``docs/FLUID.md`` for the model, its invariants, and its known
+error bounds (and when *not* to trust it).
+"""
+
+from repro.sim.fluid.build import build_fluid_network, split_flows
+from repro.sim.fluid.model import FluidFlow, FluidLink
+from repro.sim.fluid.network import FluidNetwork
+from repro.sim.fluid.solver import max_min_shares
+
+__all__ = [
+    "FluidFlow",
+    "FluidLink",
+    "FluidNetwork",
+    "build_fluid_network",
+    "max_min_shares",
+    "split_flows",
+]

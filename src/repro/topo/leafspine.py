@@ -14,7 +14,7 @@ port runs the scheme under test.
 
 from __future__ import annotations
 
-from typing import Callable, List, Optional
+from typing import TYPE_CHECKING, Callable, List, Optional, Tuple
 
 from repro.aqm.base import Aqm
 from repro.net.classifier import DscpClassifier
@@ -27,6 +27,9 @@ from repro.net.switch import Switch
 from repro.sched.base import Scheduler
 from repro.sim.engine import Simulator
 from repro.units import KB
+
+if TYPE_CHECKING:  # pragma: no cover - annotation-only
+    from repro.transport.flow import Flow
 
 SchedFactory = Callable[[], Scheduler]
 AqmFactory = Callable[[], Optional[Aqm]]
@@ -134,6 +137,35 @@ class LeafSpineTopology:
     def ecmp_spine(self, flow_id: int) -> int:
         """Deterministic per-flow spine choice."""
         return ((flow_id + self.ecmp_salt) * _HASH_MULT & 0xFFFFFFFF) % self.n_spine
+
+    def fluid_path(self, flow: "Flow") -> List[Tuple[EgressPort, int]]:
+        """Forward-path ports a fluid abstraction of ``flow`` crosses.
+
+        Each entry is ``(port, wire_delay_ns)``.  Per-flow ECMP makes
+        the path deterministic and single-valued — the same spine the
+        packet engine would hash this flow onto.
+        """
+        src, dst = flow.src, flow.dst
+        src_leaf = src // self.hosts_per_leaf
+        dst_leaf = dst // self.hosts_per_leaf
+        hops: List[Tuple[EgressPort, int]] = [
+            (self.hosts[src].nic, self.host_link_delay_ns)
+        ]
+        if src_leaf != dst_leaf:
+            spine_id = self.ecmp_spine(flow.id)
+            hops.append(
+                (self._uplinks[src_leaf][spine_id], self.fabric_link_delay_ns)
+            )
+            hops.append(
+                (
+                    self.spines[spine_id]._dst_table[dst],
+                    self.fabric_link_delay_ns,
+                )
+            )
+        hops.append(
+            (self.leaves[dst_leaf]._dst_table[dst], self.host_link_delay_ns)
+        )
+        return hops
 
     def _make_leaf_router(self, leaf_id: int, leaf: Switch):
         # Everything the per-packet decision needs is bound as closure

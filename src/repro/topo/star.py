@@ -9,7 +9,7 @@ NICs are plain FIFOs.  The base RTT of the topology is
 
 from __future__ import annotations
 
-from typing import Callable, List, Optional
+from typing import TYPE_CHECKING, Callable, List, Optional, Tuple
 
 from repro.aqm.base import Aqm
 from repro.net.classifier import DscpClassifier
@@ -21,6 +21,9 @@ from repro.net.switch import Switch
 from repro.sched.base import Scheduler
 from repro.sim.engine import Simulator
 from repro.units import KB
+
+if TYPE_CHECKING:  # pragma: no cover - annotation-only
+    from repro.transport.flow import Flow
 
 SchedFactory = Callable[[], Scheduler]
 AqmFactory = Callable[[], Optional[Aqm]]
@@ -80,6 +83,18 @@ class StarTopology:
         """The switch egress port facing ``host_id`` (the bottleneck for
         traffic toward that host)."""
         return self.switch.ports[host_id]
+
+    def fluid_path(self, flow: "Flow") -> List[Tuple[EgressPort, int]]:
+        """Forward-path ports a fluid abstraction of ``flow`` crosses.
+
+        Each entry is ``(port, wire_delay_ns)``; the fluid engine turns
+        the ports into capacity constraints and sums the delays into
+        the path's propagation latency.
+        """
+        return [
+            (self.hosts[flow.src].nic, self.link_delay_ns),
+            (self.switch.ports[flow.dst], self.link_delay_ns),
+        ]
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"<StarTopology {len(self.hosts)} hosts @{self.link_rate_bps}bps>"

@@ -104,10 +104,29 @@ CACHE = EmpiricalCdf(
     ],
 )
 
+#: Bulk transfer: a synthetic two-point mix for the fluid/hybrid mode —
+#: 30% short request/response messages (30 KB) and 70% long bulk
+#: transfers (25 MB), so most *flows above any reasonable promotion
+#: threshold are identical long transfers* whose steady state the fluid
+#: model describes exactly.  Not a paper workload; built for the
+#: `leafspine_fluid` bench scenario and the fluid accuracy harness,
+#: where a controlled long-flow population keeps the packet-vs-fluid
+#: comparison free of heavy-tail sampling noise.
+BULK = EmpiricalCdf(
+    "bulk",
+    [
+        (30 * KB, 0.0),
+        (30 * KB, 0.3),
+        (25 * MB, 0.3),
+        (25 * MB, 1.0),
+    ],
+)
+
 #: All four, in the order the paper lists them (Fig. 4).
 ALL_WORKLOADS: List[EmpiricalCdf] = [WEB_SEARCH, DATA_MINING, HADOOP, CACHE]
 
 _BY_NAME: Dict[str, EmpiricalCdf] = {w.name: w for w in ALL_WORKLOADS}
+_BY_NAME[BULK.name] = BULK
 
 
 def workload_by_name(name: str) -> EmpiricalCdf:

@@ -1,0 +1,24 @@
+"""SIM018: fluid-solver discipline — freelist touches, scattered mutation."""
+
+from repro.net.packet import make_data, release  # expect: SIM017, SIM018
+
+EPOCH_NS = 1_000_000  # fine: name store, not fluid state
+
+
+def forge_frame(flow):
+    pkt = make_data(flow.id, flow.src, flow.dst, 0, 1000)  # expect: SIM018
+    release(pkt)  # expect: SIM018
+    return pkt
+
+
+def rescale(link, factor):
+    link.rate_bps = link.rate_bps * factor  # expect: SIM018
+    link.shares[0] = 0.0  # fine: subscript store — the solver's work arrays
+
+
+def on_rate_change(link, factor):
+    link.rate_bps = link.rate_bps * factor  # fine: scheduled entry point
+
+
+def _epoch_resolve(link):
+    link.converged = True  # fine: epoch-boundary phase

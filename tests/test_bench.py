@@ -38,13 +38,14 @@ def _result(scenario="port_saturation", eps=100_000.0, **kw):
 
 
 class TestScenarios:
-    def test_the_five_pinned_scenarios_exist(self):
+    def test_the_pinned_scenarios_exist(self):
         assert set(SCENARIOS) == {
             "engine_churn",
             "port_saturation",
             "incast",
             "leafspine_slice",
             "leafspine_full",
+            "leafspine_fluid",
         }
 
     def test_run_scenario_produces_metrics(self):
@@ -124,6 +125,24 @@ class TestJsonRoundTrip:
         assert back.start_method == ""
         assert back.phase_stats == {}
 
+    def test_fluid_fields_round_trip(self, tmp_path):
+        stats = {"flows": 71, "completed": 71, "epochs": 285,
+                 "solver_iterations": 300, "threshold_crossings": 12}
+        result = _result(mode="hybrid", fluid_stats=stats)
+        path = write_result(result, str(tmp_path))
+        back = load_results(path)["port_saturation"]
+        assert back.mode == "hybrid"
+        assert back.fluid_stats == stats
+
+    def test_fluid_fields_default_for_old_baselines(self):
+        old = {
+            "scenario": "port_saturation", "events": 1000,
+            "wall_s": 0.01, "events_per_sec": 1e5,
+        }
+        back = BenchResult.from_dict(old)
+        assert back.mode == "packet"
+        assert back.fluid_stats == {}
+
     def test_describe_surfaces_parallel_context(self):
         result = _result(
             workers=2, cpu_count=8, rounds=1234, sync_stall_s=0.5,
@@ -192,6 +211,18 @@ class TestCli:
         out = capsys.readouterr().out
         for name in SCENARIOS:
             assert name in out
+
+    def test_mode_override_on_flowless_scenario_is_a_clean_error(
+        self, tmp_path, capsys
+    ):
+        code = bench_main(
+            ["-s", "engine_churn", "--mode", "hybrid",
+             "--out", str(tmp_path)]
+        )
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "error: engine_churn" in err
+        assert "no flows to promote" in err
 
     def test_run_and_self_compare_passes(self, tmp_path, capsys):
         out_dir = str(tmp_path / "a")
